@@ -1,0 +1,30 @@
+// Shared helpers for the reproduction benches. Each bench regenerates one
+// table or figure of the paper and prints measured-vs-paper values; scenario
+// benches additionally print REPRODUCED / PREVENTED verdicts for the flawed
+// and corrected configurations.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+inline void Banner(const std::string& title) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void Verdict(const std::string& what, bool reproduced) {
+  std::printf("  [%s] %s\n", reproduced ? "REPRODUCED" : "not reproduced", what.c_str());
+}
+
+inline void Prevented(const std::string& what, bool prevented) {
+  std::printf("  [%s] %s\n", prevented ? "PREVENTED" : "NOT PREVENTED", what.c_str());
+}
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,11 @@
+// Emits the complete 136-failure dataset as CSV — the reproduction of the
+// data-set artifact the authors published at dsl.uwaterloo.ca/projects/neat.
+
+#include <cstdio>
+
+#include "study/export.h"
+
+int main() {
+  std::printf("%s", study::DatasetCsv().c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 2: the VoltDB dirty read (ENG-10389). A complete partition splits
+// the master from the replicas; a write arrives at the old master right
+// after the partition (fails, but stays in its local copy); a read at the
+// old master returns the never-committed value. The corrected configuration
+// (quorum reads over committed data) turns the read into an explicit
+// failure instead.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "check/checkers.h"
+#include "systems/pbkv/cluster.h"
+
+namespace {
+
+struct Outcome {
+  bool write_failed = false;
+  bool read_ok = false;
+  std::string read_value;
+  size_t dirty_reads = 0;
+  sim::Time virtual_time = 0;
+  uint64_t events = 0;
+};
+
+Outcome Run(const pbkv::Options& options) {
+  pbkv::Cluster::Config config;
+  config.options = options;
+  pbkv::Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(500));
+
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.client(0).set_contact(1);
+  cluster.client(0).set_allow_redirect(false);
+  Outcome outcome;
+  auto put = cluster.Put(0, "x", "uncommitted-value");
+  outcome.write_failed = put.status == check::OpStatus::kFail;
+  auto get = cluster.Get(0, "x");
+  outcome.read_ok = get.status == check::OpStatus::kOk;
+  outcome.read_value = get.value;
+  outcome.dirty_reads = check::CheckDirtyReads(cluster.history()).size();
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Milliseconds(500));
+  outcome.virtual_time = cluster.simulator().Now();
+  outcome.events = cluster.simulator().events_executed();
+  return outcome;
+}
+
+void Report(const char* name, const Outcome& outcome, bool expect_reproduced) {
+  std::printf("\n%s\n", name);
+  std::printf("  step 2: write at old master -> %s\n",
+              outcome.write_failed ? "FAILED (replication timed out)" : "ok");
+  std::printf("  step 3: read at old master  -> %s%s%s\n",
+              outcome.read_ok ? "ok, value='" : "failed",
+              outcome.read_ok ? outcome.read_value.c_str() : "",
+              outcome.read_ok ? "'" : "");
+  std::printf("  dirty reads detected: %zu\n", outcome.dirty_reads);
+  std::printf("  virtual time %s, %llu simulator events\n",
+              sim::FormatTime(outcome.virtual_time).c_str(),
+              static_cast<unsigned long long>(outcome.events));
+  if (expect_reproduced) {
+    bench::Verdict("dirty read (Figure 2 / ENG-10389)", outcome.dirty_reads > 0);
+  } else {
+    bench::Prevented("dirty read", outcome.dirty_reads == 0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 2: dirty read failure in VoltDB (ENG-10389)");
+  Report("VoltDB-like configuration (local reads, longest-log election):",
+         Run(pbkv::VoltDbOptions()), /*expect_reproduced=*/true);
+  Report("Corrected configuration (quorum reads over committed data):",
+         Run(pbkv::CorrectOptions()), /*expect_reproduced=*/false);
+  return 0;
+}

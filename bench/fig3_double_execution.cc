@@ -1,0 +1,66 @@
+// Figure 3: double execution in MapReduce (MAPREDUCE-4819/-4832). A partial
+// partition separates the AppMaster from the ResourceManager while both
+// still reach the workers, the output store, and the user; the RM starts a
+// second AppMaster and the task executes — and reports results — twice.
+// Note: no client access is needed after the partition.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "check/checkers.h"
+#include "systems/sched/cluster.h"
+
+namespace {
+
+struct Outcome {
+  int attempts = 0;
+  size_t commits = 0;
+  size_t container_runs = 0;
+  int results_delivered = 0;
+  size_t double_executions = 0;
+};
+
+Outcome Run(const sched::Options& options) {
+  sched::Cluster::Config config;
+  config.options = options;
+  sched::Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(100));
+  cluster.Submit(0, "job-1");
+  cluster.Settle(sim::Milliseconds(50));
+  auto partition = cluster.partitioner().Partial({1}, {cluster.rm_id()});
+  cluster.Settle(sim::Seconds(2));
+  cluster.partitioner().Heal(partition);
+  Outcome outcome;
+  outcome.attempts = cluster.rm().AttemptOf("job-1");
+  outcome.commits = cluster.store().commits().size();
+  outcome.container_runs = cluster.store().container_runs().size();
+  outcome.results_delivered = cluster.client(0).ResultCount("job-1");
+  outcome.double_executions = check::CheckDoubleExecution(cluster.store().commits()).size();
+  return outcome;
+}
+
+void Report(const char* name, const Outcome& outcome, bool expect_reproduced) {
+  std::printf("\n%s\n", name);
+  std::printf("  AppMaster attempts started by the RM: %d\n", outcome.attempts);
+  std::printf("  container runs (incl. wasted work):   %zu\n", outcome.container_runs);
+  std::printf("  committed results:                    %zu\n", outcome.commits);
+  std::printf("  results delivered to the user:        %d\n", outcome.results_delivered);
+  if (expect_reproduced) {
+    bench::Verdict("double execution (Figure 3 / MAPREDUCE-4819)",
+                   outcome.double_executions > 0 && outcome.results_delivered >= 2);
+  } else {
+    bench::Prevented("double execution", outcome.double_executions == 0 &&
+                                             outcome.results_delivered <= 1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 3: double execution failure in MapReduce");
+  Report("MapReduce-like configuration (no commit fencing):",
+         Run(sched::MapReduceOptions()), /*expect_reproduced=*/true);
+  Report("Corrected configuration (output store fences superseded attempts):",
+         Run(sched::CorrectOptions()), /*expect_reproduced=*/false);
+  return 0;
+}

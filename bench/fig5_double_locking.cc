@@ -1,0 +1,92 @@
+// Figure 5: the Ignite semaphore double-locking failure (IGNITE-9767).
+// Nodes on both sides of a complete partition remove the unreachable peers
+// from their replica set, so both sides grant the same semaphore. Also
+// demonstrates the post-heal corruption: permits reclaimed from an
+// unreachable client break the semaphore when the client later releases.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "check/checkers.h"
+#include "systems/locksvc/cluster.h"
+
+namespace {
+
+struct Outcome {
+  bool side1_acquired = false;
+  bool side2_acquired = false;
+  size_t violations = 0;
+  bool damage_persists_after_heal = false;
+  bool semaphore_broken_after_reclaim = false;
+};
+
+Outcome Run(const locksvc::Options& options) {
+  Outcome outcome;
+  {
+    locksvc::Cluster::Config config;
+    config.options = options;
+    locksvc::Cluster cluster(config);
+    cluster.Settle(sim::Milliseconds(200));
+    auto partition = cluster.partitioner().Complete({1}, {2, 3});
+    cluster.Settle(sim::Milliseconds(400));
+    cluster.client(0).set_contact(1);
+    cluster.client(1).set_contact(2);
+    outcome.side1_acquired = cluster.SemAcquire(0, "S", 1).status == check::OpStatus::kOk;
+    outcome.side2_acquired = cluster.SemAcquire(1, "S", 1).status == check::OpStatus::kOk;
+    outcome.violations = check::CheckSemaphore(cluster.history(), "S", 1).size();
+    cluster.partitioner().Heal(partition);
+    cluster.Settle(sim::Milliseconds(500));
+    outcome.damage_persists_after_heal =
+        !cluster.server(1).SemaphoreHolders("S").empty() &&
+        !cluster.server(2).SemaphoreHolders("S").empty() &&
+        cluster.server(1).SemaphoreHolders("S") != cluster.server(2).SemaphoreHolders("S");
+  }
+  {
+    // The reclaim corruption: partition the holding client away.
+    locksvc::Cluster::Config config;
+    config.options = options;
+    locksvc::Cluster cluster(config);
+    cluster.Settle(sim::Milliseconds(200));
+    cluster.SemAcquire(0, "S", 1);
+    auto partition =
+        cluster.partitioner().Complete({cluster.client(0).id()}, {1, 2, 3});
+    cluster.Settle(sim::Milliseconds(800));
+    cluster.partitioner().Heal(partition);
+    cluster.Settle(sim::Milliseconds(100));
+    cluster.SemRelease(0, "S");
+    outcome.semaphore_broken_after_reclaim = cluster.server(1).SemaphoreBroken("S");
+  }
+  return outcome;
+}
+
+void Report(const char* name, const Outcome& outcome, bool expect_reproduced) {
+  std::printf("\n%s\n", name);
+  std::printf("  minority-side acquire: %s\n", outcome.side1_acquired ? "GRANTED" : "denied");
+  std::printf("  majority-side acquire: %s\n", outcome.side2_acquired ? "granted" : "denied");
+  std::printf("  semaphore safety violations: %zu\n", outcome.violations);
+  std::printf("  divergent holders persist after heal: %s\n",
+              outcome.damage_persists_after_heal ? "yes (lasting damage)" : "no");
+  std::printf("  semaphore corrupted by reclaimed-permit release: %s\n",
+              outcome.semaphore_broken_after_reclaim ? "yes" : "no");
+  if (expect_reproduced) {
+    bench::Verdict("semaphore double locking (Figure 5 / IGNITE-9767)",
+                   outcome.violations > 0);
+    bench::Verdict("lasting damage after heal", outcome.damage_persists_after_heal);
+    bench::Verdict("semaphore corruption after reclaim (IGNITE-8881..8883)",
+                   outcome.semaphore_broken_after_reclaim);
+  } else {
+    bench::Prevented("semaphore double locking", outcome.violations == 0);
+    bench::Prevented("post-heal corruption", !outcome.semaphore_broken_after_reclaim);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 5: semaphore double locking in Apache Ignite");
+  Report("Ignite-like configuration (view shrinking + lease reclaim):",
+         Run(locksvc::IgniteOptions()), /*expect_reproduced=*/true);
+  Report("Corrected configuration (majority quorum, no reclaim):",
+         Run(locksvc::CorrectOptions()), /*expect_reproduced=*/false);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 6: system unavailability in ActiveMQ (AMQ-7064). A partial
+// partition isolates the master broker from the replicas but not from the
+// coordination service: the master cannot replicate, and the replicas never
+// take over because the registry still sees the master's session — the
+// whole cluster blocks. The corrected master resigns its mastership entry,
+// letting a replica take over.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "systems/mqueue/cluster.h"
+
+namespace {
+
+struct Outcome {
+  bool master_op_failed = false;
+  bool replica_op_failed = false;
+  net::NodeId registry_master = net::kInvalidNode;
+  bool failover_happened = false;
+  bool recovered_after_heal = false;
+};
+
+Outcome Run(const mqueue::Options& options) {
+  mqueue::Cluster::Config config;
+  config.options = options;
+  mqueue::Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.Send(0, "q", "m-before");
+
+  auto partition = cluster.partitioner().Partial({1}, {2, 3});
+  cluster.Settle(sim::Seconds(1));
+
+  Outcome outcome;
+  outcome.registry_master = cluster.MasterPerRegistry();
+  outcome.failover_happened = outcome.registry_master != 1;
+  cluster.client(0).set_contact(1);
+  outcome.master_op_failed =
+      cluster.Send(0, "q", "m-via-master").status != check::OpStatus::kOk;
+  cluster.client(1).set_contact(2);
+  const net::NodeId target =
+      outcome.registry_master == net::kInvalidNode ? 2 : outcome.registry_master;
+  cluster.client(1).set_contact(target);
+  outcome.replica_op_failed =
+      cluster.Send(1, "q", "m-via-replica").status != check::OpStatus::kOk;
+
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+  const net::NodeId final_master = cluster.MasterPerRegistry();
+  if (final_master != net::kInvalidNode) {
+    cluster.client(1).set_contact(final_master);
+    outcome.recovered_after_heal =
+        cluster.Send(1, "q", "m-after-heal").status == check::OpStatus::kOk;
+  }
+  return outcome;
+}
+
+void Report(const char* name, const Outcome& outcome, bool expect_reproduced) {
+  std::printf("\n%s\n", name);
+  std::printf("  registry master during the partition: %s\n",
+              outcome.registry_master == 1 ? "still the isolated broker 1"
+                                           : "a replica took over");
+  std::printf("  enqueue via the isolated master: %s\n",
+              outcome.master_op_failed ? "BLOCKED" : "ok");
+  std::printf("  enqueue via the healthy side:    %s\n",
+              outcome.replica_op_failed ? "BLOCKED" : "ok");
+  std::printf("  recovered after heal: %s\n", outcome.recovered_after_heal ? "yes" : "no");
+  if (expect_reproduced) {
+    bench::Verdict("cluster-wide hang (Figure 6 / AMQ-7064)",
+                   outcome.master_op_failed && outcome.replica_op_failed &&
+                       !outcome.failover_happened);
+  } else {
+    bench::Prevented("cluster-wide hang",
+                     outcome.failover_happened && !outcome.replica_op_failed);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 6: system unavailability failure in ActiveMQ");
+  Report("ActiveMQ-like configuration (master never resigns):",
+         Run(mqueue::ActiveMqOptions()), /*expect_reproduced=*/true);
+  Report("Corrected configuration (isolated master resigns mastership):",
+         Run(mqueue::CorrectOptions()), /*expect_reproduced=*/false);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Finding 9: "the majority (88%) of the failures manifest by isolating a
+// single node". This bench isolates every single node, one at a time, in
+// each flawed model system and reports which isolations trigger the
+// catastrophic failure — debunking the presumption that redundancy masks
+// single-node (e.g. ToR-switch) isolation.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "check/checkers.h"
+#include "systems/locksvc/cluster.h"
+#include "systems/mqueue/cluster.h"
+#include "systems/pbkv/cluster.h"
+#include "systems/sched/cluster.h"
+
+namespace {
+
+int total_trials = 0;
+int total_failures = 0;
+
+void Report(const std::string& label, net::NodeId node, bool failed) {
+  ++total_trials;
+  total_failures += failed ? 1 : 0;
+  std::printf("  isolate n%-2d in %-44s -> %s\n", node, label.c_str(),
+              failed ? "CATASTROPHIC FAILURE" : "tolerated");
+}
+
+void PbkvSweep(const char* label, const pbkv::Options& options) {
+  for (net::NodeId isolated : {1, 2, 3}) {
+    pbkv::Cluster::Config config;
+    config.options = options;
+    pbkv::Cluster cluster(config);
+    cluster.Settle(sim::Milliseconds(500));
+    auto partition = cluster.partitioner().Complete(
+        {isolated}, net::Partitioner::Rest(cluster.server_ids(), {isolated}));
+    cluster.client(0).set_contact(isolated);
+    cluster.client(0).set_allow_redirect(false);
+    cluster.client(0).set_op_timeout(sim::Milliseconds(400));
+    cluster.Put(0, "k", "minority-write");
+    cluster.Get(0, "k");
+    cluster.Settle(sim::Seconds(1));
+    cluster.partitioner().Heal(partition);
+    cluster.Settle(sim::Seconds(1));
+    cluster.client(1).set_contact(isolated == 1 ? 2 : 1);
+    cluster.Get(1, "k", /*final_read=*/true);
+    const bool failed = !check::CheckDirtyReads(cluster.history()).empty() ||
+                        !check::CheckDataLoss(cluster.history()).empty();
+    Report(label, isolated, failed);
+  }
+}
+
+void LocksvcSweep() {
+  for (net::NodeId isolated : {1, 2, 3}) {
+    locksvc::Cluster::Config config;
+    config.options = locksvc::IgniteOptions();
+    locksvc::Cluster cluster(config);
+    cluster.Settle(sim::Milliseconds(200));
+    auto partition = cluster.partitioner().Complete(
+        {isolated}, net::Partitioner::Rest(cluster.server_ids(), {isolated}));
+    cluster.Settle(sim::Milliseconds(400));
+    cluster.client(0).set_contact(isolated);
+    cluster.client(1).set_contact(isolated == 1 ? 2 : 1);
+    cluster.Lock(0, "L");
+    cluster.Lock(1, "L");
+    cluster.partitioner().Heal(partition);
+    const bool failed = !check::CheckBrokenLocks(cluster.history()).empty();
+    Report("locksvc (Ignite-like)", isolated, failed);
+  }
+}
+
+void MqueueSweep() {
+  for (net::NodeId isolated : {1, 2, 3}) {
+    mqueue::Cluster::Config config;
+    config.options = mqueue::ActiveMqOptions();
+    mqueue::Cluster cluster(config);
+    cluster.Settle(sim::Milliseconds(300));
+    cluster.Send(0, "q", "m1");
+    cluster.Settle(sim::Milliseconds(200));
+    net::Group minority{isolated, cluster.client(0).id()};
+    auto partition = cluster.partitioner().Complete(
+        minority, net::Partitioner::Rest({1, 2, 3, cluster.zk_id()}, {isolated}));
+    cluster.client(0).set_contact(isolated);
+    cluster.Receive(0, "q");
+    cluster.Settle(sim::Seconds(1));
+    const net::NodeId master = cluster.MasterPerRegistry();
+    if (master != net::kInvalidNode) {
+      cluster.client(1).set_contact(master);
+      cluster.Receive(1, "q");
+    }
+    cluster.partitioner().Heal(partition);
+    const bool failed = !check::CheckDoubleDequeue(cluster.history()).empty();
+    Report("mqueue (ActiveMQ-like)", isolated, failed);
+  }
+}
+
+void SchedSweep() {
+  for (net::NodeId isolated : {1, 2, 3}) {
+    sched::Cluster::Config config;
+    config.options = sched::MapReduceOptions();
+    sched::Cluster cluster(config);
+    cluster.Settle(sim::Milliseconds(100));
+    cluster.Submit(0, "job-1");
+    cluster.Settle(sim::Milliseconds(50));
+    auto partition = cluster.partitioner().Partial({isolated}, {cluster.rm_id()});
+    cluster.Settle(sim::Seconds(2));
+    cluster.partitioner().Heal(partition);
+    const bool failed =
+        !check::CheckDoubleExecution(cluster.store().commits()).empty();
+    Report("sched (MapReduce-like, partial to RM)", isolated, failed);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Finding 9: failures triggered by isolating a single node");
+  std::printf("\npbkv variants (complete partition of one replica):\n");
+  PbkvSweep("pbkv (VoltDB-like)", pbkv::VoltDbOptions());
+  PbkvSweep("pbkv (Redis-like async)", pbkv::AsyncReplicationOptions());
+  std::printf("\nlock service (complete partition of one replica):\n");
+  LocksvcSweep();
+  std::printf("\nmessage queue (complete partition of one broker + a client):\n");
+  MqueueSweep();
+  std::printf("\nscheduler (partial partition worker <-> ResourceManager):\n");
+  SchedSweep();
+  std::printf("\n%d of %d single-node isolations triggered a catastrophic failure "
+              "(%.0f%%; the paper reports 88%% of *failures* are single-node "
+              "triggerable)\n",
+              total_failures, total_trials, 100.0 * total_failures / total_trials);
+  std::printf("Note: isolating the node holding the vulnerable role (leader, AppMaster\n"
+              "host, lock view member) is what matters — and in these systems, as the\n"
+              "paper observes, every node holds such a role for some of the data.\n");
+  return 0;
+}

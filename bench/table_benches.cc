@@ -1,0 +1,80 @@
+// One translation unit that can print any of the study tables; the build
+// produces one binary per table (bench/table01_systems ...), each defining
+// WHICH_TABLE. This keeps "one binary per table" without 15 copies of the
+// same boilerplate.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "study/failure.h"
+#include "study/tables.h"
+
+#ifndef WHICH_TABLE
+#define WHICH_TABLE 2
+#endif
+
+int main() {
+  const auto records = study::Dataset();
+#if WHICH_TABLE == 1
+  bench::Banner("Table 1: studied systems, failures, catastrophic failures");
+  std::printf("%s", study::FormatTable1(study::ComputeTable1(records)).c_str());
+#elif WHICH_TABLE == 2
+  bench::Banner("Table 2: the impacts of the failures");
+  std::printf("%s", study::FormatTable(study::ComputeTable2Impact(records)).c_str());
+  const auto headlines = study::ComputeHeadlines(records);
+  std::printf("Finding 1: catastrophic failures: measured %.1f%% (paper: 80%%)\n",
+              headlines.catastrophic_percent);
+  std::printf("Finding 2: silent failures:       measured %.1f%% (paper: 90%%)\n",
+              headlines.silent_percent);
+  std::printf("Finding 3: lasting damage:        measured %.1f%% (paper: 21%%)\n",
+              headlines.lasting_damage_percent);
+#elif WHICH_TABLE == 3
+  bench::Banner("Table 3: failures involving each system mechanism");
+  std::printf("%s", study::FormatTable(study::ComputeTable3Mechanisms(records)).c_str());
+#elif WHICH_TABLE == 4
+  bench::Banner("Table 4: leader election flaws");
+  std::printf("%s", study::FormatTable(study::ComputeTable4ElectionFlaws(records)).c_str());
+#elif WHICH_TABLE == 5
+  bench::Banner("Table 5: client access during the network partition");
+  std::printf("%s", study::FormatTable(study::ComputeTable5ClientAccess(records)).c_str());
+#elif WHICH_TABLE == 6
+  bench::Banner("Table 6: failures per network-partitioning fault type");
+  std::printf("%s", study::FormatTable(study::ComputeTable6PartitionTypes(records)).c_str());
+  std::printf("Finding 6 tail: single partition suffices for %.1f%% (paper: 99%%)\n",
+              study::ComputeHeadlines(records).single_partition_percent);
+#elif WHICH_TABLE == 7
+  bench::Banner("Table 7: minimum number of events required to cause a failure");
+  std::printf("%s", study::FormatTable(study::ComputeTable7EventCounts(records)).c_str());
+#elif WHICH_TABLE == 8
+  bench::Banner("Table 8: faults each event is involved in");
+  std::printf("%s", study::FormatTable(study::ComputeTable8EventTypes(records)).c_str());
+#elif WHICH_TABLE == 9
+  bench::Banner("Table 9: ordering characteristics");
+  std::printf("%s", study::FormatTable(study::ComputeTable9Ordering(records)).c_str());
+#elif WHICH_TABLE == 10
+  bench::Banner("Table 10: system connectivity during the network partition");
+  std::printf("%s", study::FormatTable(study::ComputeTable10Isolation(records)).c_str());
+  std::printf("Finding 9: single-node isolation triggers %.1f%% (paper: 88%%)\n",
+              study::ComputeHeadlines(records).single_node_isolation_percent);
+#elif WHICH_TABLE == 11
+  bench::Banner("Table 11: timing constraints");
+  std::printf("%s", study::FormatTable(study::ComputeTable11Timing(records)).c_str());
+#elif WHICH_TABLE == 12
+  bench::Banner("Table 12: design vs implementation flaws");
+  const auto summary = study::ComputeTable12Resolution(records);
+  std::printf("%s", study::FormatTable(summary.table).c_str());
+  std::printf("  Average resolution: design %.0f days (paper: 205), implementation %.0f days"
+              " (paper: 81)\n",
+              summary.design_avg_days, summary.implementation_avg_days);
+#elif WHICH_TABLE == 13
+  bench::Banner("Table 13: number of nodes needed to reproduce a failure");
+  std::printf("%s", study::FormatTable(study::ComputeTable13Nodes(records)).c_str());
+#elif WHICH_TABLE == 14
+  bench::Banner("Table 14: failures from the issue-tracking systems and Jepsen");
+  std::printf("%s", study::FormatTable14(records).c_str());
+#elif WHICH_TABLE == 15
+  bench::Banner("Table 15: failures discovered by NEAT");
+  std::printf("%s", study::FormatTable15(records).c_str());
+#endif
+  return 0;
+}

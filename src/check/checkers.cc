@@ -1,0 +1,352 @@
+#include "check/checkers.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace check {
+namespace {
+
+// Finds the write (of any status) that produced `value` on `key`, if any.
+std::optional<Operation> WriteOf(const History& history, const std::string& key,
+                                 const std::string& value) {
+  for (const Operation& op : history.ops()) {
+    if (op.type == OpType::kWrite && op.key == key && op.value == value) {
+      return op;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<Violation> CheckDirtyReads(const History& history) {
+  std::vector<Violation> out;
+  for (const Operation& read : history.ops()) {
+    if (read.type != OpType::kRead || read.status != OpStatus::kOk || read.value.empty()) {
+      continue;
+    }
+    auto write = WriteOf(history, read.key, read.value);
+    if (write && write->status == OpStatus::kFail) {
+      out.push_back(Violation{
+          "dirty read",
+          "read #" + std::to_string(read.id) + " returned value '" + read.value +
+              "' of failed write #" + std::to_string(write->id) + " on key '" + read.key + "'",
+          {read.id, write->id}});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckStaleReads(const History& history) {
+  std::vector<Violation> out;
+  for (const Operation& read : history.ops()) {
+    if (read.type != OpType::kRead || read.status != OpStatus::kOk || read.value.empty()) {
+      continue;
+    }
+    auto write = WriteOf(history, read.key, read.value);
+    if (!write || write->status != OpStatus::kOk) {
+      continue;
+    }
+    // A newer acked write completed before this read began -> stale.
+    for (const Operation& newer : history.ops()) {
+      if (newer.type == OpType::kWrite && newer.key == read.key &&
+          newer.status == OpStatus::kOk && newer.completed > write->completed &&
+          newer.completed < read.invoked) {
+        out.push_back(Violation{
+            "stale read",
+            "read #" + std::to_string(read.id) + " returned '" + read.value +
+                "' although write #" + std::to_string(newer.id) + " ('" + newer.value +
+                "') completed earlier on key '" + read.key + "'",
+            {read.id, write->id, newer.id}});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckDataLoss(const History& history) {
+  std::vector<Violation> out;
+  for (const Operation& read : history.ops()) {
+    if (read.type != OpType::kRead || !read.final_read || read.status != OpStatus::kOk) {
+      continue;
+    }
+    // Latest acked write completed before the final read.
+    std::optional<Operation> last;
+    for (const Operation& op : history.ops()) {
+      if (op.type == OpType::kWrite && op.key == read.key && op.status == OpStatus::kOk &&
+          op.completed < read.invoked) {
+        if (!last || op.completed > last->completed) {
+          last = op;
+        }
+      }
+    }
+    if (!last) {
+      continue;
+    }
+    // An acked delete after the last write legitimately empties the key.
+    bool deleted = false;
+    for (const Operation& op : history.ops()) {
+      if (op.type == OpType::kDelete && op.key == read.key && op.status == OpStatus::kOk &&
+          op.completed > last->completed && op.completed < read.invoked) {
+        deleted = true;
+      }
+    }
+    if (deleted) {
+      continue;
+    }
+    if (read.value != last->value) {
+      out.push_back(Violation{
+          "data loss",
+          "final read #" + std::to_string(read.id) + " on key '" + read.key + "' returned '" +
+              read.value + "' but acknowledged write #" + std::to_string(last->id) + " ('" +
+              last->value + "') should be visible",
+          {read.id, last->id}});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckReappearance(const History& history) {
+  std::vector<Violation> out;
+  for (const Operation& read : history.ops()) {
+    if (read.type != OpType::kRead || !read.final_read || read.status != OpStatus::kOk ||
+        read.value.empty()) {
+      continue;
+    }
+    auto write = WriteOf(history, read.key, read.value);
+    if (!write) {
+      continue;
+    }
+    // An acked delete completed after that write and before the read, and no
+    // acked write re-created the value in between.
+    for (const Operation& del : history.ops()) {
+      if (del.type != OpType::kDelete || del.key != read.key || del.status != OpStatus::kOk) {
+        continue;
+      }
+      if (del.completed <= write->completed || del.completed >= read.invoked) {
+        continue;
+      }
+      bool rewritten = false;
+      for (const Operation& rewrite : history.ops()) {
+        if (rewrite.type == OpType::kWrite && rewrite.key == read.key &&
+            rewrite.status == OpStatus::kOk && rewrite.value == read.value &&
+            rewrite.completed > del.completed && rewrite.completed < read.invoked) {
+          rewritten = true;
+        }
+      }
+      if (!rewritten) {
+        out.push_back(Violation{
+            "reappearance of deleted data",
+            "final read #" + std::to_string(read.id) + " returned '" + read.value +
+                "' although delete #" + std::to_string(del.id) + " removed it from key '" +
+                read.key + "'",
+            {read.id, write->id, del.id}});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckBrokenLocks(const History& history) {
+  std::vector<Violation> out;
+  // Build hold intervals per (key, client): [acquire.completed, release.invoked).
+  struct Hold {
+    uint64_t op_id;
+    int client;
+    sim::Time from;
+    sim::Time until;  // open holds extend to +inf
+  };
+  std::map<std::string, std::vector<Hold>> holds;
+  constexpr sim::Time kInf = INT64_MAX;
+  for (const Operation& op : history.ops()) {
+    if (op.type == OpType::kLock && op.status == OpStatus::kOk) {
+      holds[op.key].push_back(Hold{op.id, op.client, op.completed, kInf});
+    } else if (op.type == OpType::kUnlock && op.status == OpStatus::kOk) {
+      auto it = holds.find(op.key);
+      if (it != holds.end()) {
+        // Close this client's most recent open hold.
+        for (auto hold = it->second.rbegin(); hold != it->second.rend(); ++hold) {
+          if (hold->client == op.client && hold->until == kInf) {
+            hold->until = op.invoked;
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (const auto& [key, intervals] : holds) {
+    for (size_t i = 0; i < intervals.size(); ++i) {
+      for (size_t j = i + 1; j < intervals.size(); ++j) {
+        const Hold& a = intervals[i];
+        const Hold& b = intervals[j];
+        if (a.client == b.client) {
+          continue;
+        }
+        if (a.from < b.until && b.from < a.until) {
+          out.push_back(Violation{
+              "broken locks",
+              "clients " + std::to_string(a.client) + " and " + std::to_string(b.client) +
+                  " held lock '" + key + "' concurrently (double locking)",
+              {a.op_id, b.op_id}});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckSemaphore(const History& history, const std::string& key,
+                                      int permits) {
+  std::vector<Violation> out;
+  // Sweep acquire/release events in completion order and track concurrency.
+  struct Event {
+    sim::Time when;
+    int delta;
+    uint64_t op_id;
+  };
+  std::vector<Event> events;
+  for (const Operation& op : history.ops()) {
+    if (op.key != key || op.status != OpStatus::kOk) {
+      continue;
+    }
+    if (op.type == OpType::kSemAcquire) {
+      events.push_back(Event{op.completed, +1, op.id});
+    } else if (op.type == OpType::kSemRelease) {
+      events.push_back(Event{op.invoked, -1, op.id});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    return a.delta < b.delta;  // releases first at equal times
+  });
+  int held = 0;
+  for (const Event& event : events) {
+    held += event.delta;
+    if (held > permits) {
+      out.push_back(Violation{
+          "broken locks",
+          "semaphore '" + key + "' had " + std::to_string(held) + " permits held but allows " +
+              std::to_string(permits),
+          {event.op_id}});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckDoubleDequeue(const History& history) {
+  std::vector<Violation> out;
+  std::map<std::string, std::vector<uint64_t>> seen;  // value -> dequeue op ids
+  for (const Operation& op : history.ops()) {
+    if (op.type == OpType::kDequeue && op.status == OpStatus::kOk && !op.value.empty()) {
+      seen[op.key + "/" + op.value].push_back(op.id);
+    }
+  }
+  for (const auto& [value, op_ids] : seen) {
+    if (op_ids.size() > 1) {
+      out.push_back(Violation{"double dequeue",
+                              "message '" + value + "' was dequeued " +
+                                  std::to_string(op_ids.size()) + " times",
+                              op_ids});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckLostMessages(const History& history) {
+  std::vector<Violation> out;
+  // Only meaningful when the caller drained the queue: a final dequeue
+  // returned empty.
+  std::set<std::string> drained_queues;
+  for (const Operation& op : history.ops()) {
+    if (op.type == OpType::kDequeue && op.final_read && op.status == OpStatus::kOk &&
+        op.value.empty()) {
+      drained_queues.insert(op.key);
+    }
+  }
+  for (const Operation& enq : history.ops()) {
+    if (enq.type != OpType::kEnqueue || enq.status != OpStatus::kOk) {
+      continue;
+    }
+    if (drained_queues.count(enq.key) == 0) {
+      continue;
+    }
+    bool dequeued = false;
+    for (const Operation& deq : history.ops()) {
+      if (deq.type == OpType::kDequeue && deq.status == OpStatus::kOk && deq.key == enq.key &&
+          deq.value == enq.value) {
+        dequeued = true;
+        break;
+      }
+    }
+    if (!dequeued) {
+      out.push_back(Violation{"data loss",
+                              "acknowledged enqueue #" + std::to_string(enq.id) + " ('" +
+                                  enq.value + "') never dequeued although queue '" + enq.key +
+                                  "' was drained",
+                              {enq.id}});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckDoubleExecution(const std::vector<TaskExecution>& executions) {
+  std::vector<Violation> out;
+  std::map<std::string, int> counts;
+  for (const TaskExecution& exec : executions) {
+    ++counts[exec.task_id];
+  }
+  for (const auto& [task, count] : counts) {
+    if (count > 1) {
+      out.push_back(Violation{
+          "double execution",
+          "task '" + task + "' was executed " + std::to_string(count) + " times", {}});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckCounterUniqueness(const History& history) {
+  std::vector<Violation> out;
+  std::map<std::string, std::vector<uint64_t>> seen;  // counter/value -> op ids
+  for (const Operation& op : history.ops()) {
+    if (op.type == OpType::kOther && op.status == OpStatus::kOk && !op.value.empty()) {
+      seen[op.key + "=" + op.value].push_back(op.id);
+    }
+  }
+  for (const auto& [assignment, op_ids] : seen) {
+    if (op_ids.size() > 1) {
+      out.push_back(Violation{"broken locks",
+                              "counter value '" + assignment + "' was handed out " +
+                                  std::to_string(op_ids.size()) + " times",
+                              op_ids});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckAll(const History& history) {
+  std::vector<Violation> out;
+  for (auto checker : {CheckDirtyReads, CheckStaleReads, CheckDataLoss, CheckReappearance,
+                       CheckBrokenLocks, CheckDoubleDequeue, CheckLostMessages}) {
+    auto found = checker(history);
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+std::string FormatViolations(const std::vector<Violation>& violations) {
+  std::ostringstream os;
+  for (const Violation& v : violations) {
+    os << "[" << v.impact << "] " << v.description << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace check

@@ -1,0 +1,77 @@
+// Safety checkers over operation histories.
+//
+// Each checker looks for one catastrophic impact from Table 2 of the paper.
+// Checkers assume per-test-unique written values (the NEAT tests and our
+// workload generators guarantee this), which makes matching a returned value
+// back to the operation that produced it exact.
+
+#ifndef CHECK_CHECKERS_H_
+#define CHECK_CHECKERS_H_
+
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+
+namespace check {
+
+// Read returned the value of a write that the system reported as failed
+// (e.g. the VoltDB dirty read of Figure 2).
+std::vector<Violation> CheckDirtyReads(const History& history);
+
+// Read returned an acknowledged but superseded value: a newer acked write on
+// the same key completed before the read was invoked. Catastrophic only
+// under strong consistency; the caller decides how to weigh it.
+std::vector<Violation> CheckStaleReads(const History& history);
+
+// A final (post-heal) read did not observe the latest acknowledged write.
+std::vector<Violation> CheckDataLoss(const History& history);
+
+// A final read observed a value that an acknowledged delete removed and that
+// no later acked write restored.
+std::vector<Violation> CheckReappearance(const History& history);
+
+// Two clients held the same lock at overlapping times (double locking), or a
+// release failed against a lock the client held (lock corruption surfaces as
+// a failed kUnlock on a held lock).
+std::vector<Violation> CheckBrokenLocks(const History& history);
+
+// More clients held semaphore permits concurrently than the semaphore
+// allows (the Ignite semaphore failure of Figure 5).
+std::vector<Violation> CheckSemaphore(const History& history, const std::string& key,
+                                      int permits);
+
+// The same enqueued value was returned by two acknowledged dequeues
+// (the ActiveMQ double-dequeue failure of Listing 2).
+std::vector<Violation> CheckDoubleDequeue(const History& history);
+
+// An acknowledged enqueue was never dequeued even though the queue was
+// drained to empty by final dequeues.
+std::vector<Violation> CheckLostMessages(const History& history);
+
+// One record of a task being executed by some node, reported by the system
+// under test (e.g. the MapReduce scheduler counts container runs).
+struct TaskExecution {
+  std::string task_id;
+  int executor = 0;
+  sim::Time when = sim::kTimeZero;
+};
+
+// A task ran to completion more than once (the MapReduce double-execution
+// failure of Figure 3).
+std::vector<Violation> CheckDoubleExecution(const std::vector<TaskExecution>& executions);
+
+// Two acknowledged atomic-counter operations on the same counter returned
+// the same value (broken AtomicSequence/AtomicLong, IGNITE-9768). Counter
+// operations are recorded as kOther with the returned value in `value`.
+std::vector<Violation> CheckCounterUniqueness(const History& history);
+
+// Runs every history-based checker and concatenates the results.
+std::vector<Violation> CheckAll(const History& history);
+
+// Renders violations one per line for test output.
+std::string FormatViolations(const std::vector<Violation>& violations);
+
+}  // namespace check
+
+#endif  // CHECK_CHECKERS_H_

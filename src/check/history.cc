@@ -1,0 +1,104 @@
+#include "check/history.h"
+
+#include <sstream>
+
+namespace check {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kWrite:
+      return "write";
+    case OpType::kRead:
+      return "read";
+    case OpType::kDelete:
+      return "delete";
+    case OpType::kCas:
+      return "cas";
+    case OpType::kLock:
+      return "lock";
+    case OpType::kUnlock:
+      return "unlock";
+    case OpType::kSemAcquire:
+      return "sem-acquire";
+    case OpType::kSemRelease:
+      return "sem-release";
+    case OpType::kEnqueue:
+      return "enqueue";
+    case OpType::kDequeue:
+      return "dequeue";
+    case OpType::kSubmitTask:
+      return "submit-task";
+    case OpType::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+const char* OpStatusName(OpStatus status) {
+  switch (status) {
+    case OpStatus::kOk:
+      return "ok";
+    case OpStatus::kFail:
+      return "fail";
+    case OpStatus::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+uint64_t History::Record(Operation op) {
+  op.id = next_id_++;
+  ops_.push_back(op);
+  return op.id;
+}
+
+std::vector<Operation> History::OfType(OpType type) const {
+  std::vector<Operation> out;
+  for (const Operation& op : ops_) {
+    if (op.type == type) {
+      out.push_back(op);
+    }
+  }
+  return out;
+}
+
+std::vector<Operation> History::ForKey(const std::string& key) const {
+  std::vector<Operation> out;
+  for (const Operation& op : ops_) {
+    if (op.key == key) {
+      out.push_back(op);
+    }
+  }
+  return out;
+}
+
+std::optional<Operation> History::LastAckedWrite(const std::string& key) const {
+  std::optional<Operation> best;
+  for (const Operation& op : ops_) {
+    if (op.type == OpType::kWrite && op.key == key && op.status == OpStatus::kOk) {
+      if (!best || op.completed >= best->completed) {
+        best = op;
+      }
+    }
+  }
+  return best;
+}
+
+std::string History::Dump() const {
+  std::ostringstream os;
+  for (const Operation& op : ops_) {
+    os << "#" << op.id << " c" << op.client << " " << OpTypeName(op.type) << "(" << op.key;
+    if (!op.value.empty()) {
+      os << "=" << op.value;
+    }
+    os << ") -> " << OpStatusName(op.status) << " [" << sim::FormatTime(op.invoked) << ", "
+       << sim::FormatTime(op.completed) << "]";
+    if (op.final_read) {
+      os << " final";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace check

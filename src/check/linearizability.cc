@@ -1,0 +1,157 @@
+#include "check/linearizability.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace check {
+namespace {
+
+constexpr sim::Time kInf = INT64_MAX;
+
+struct Entry {
+  bool is_write = false;
+  int value = 0;  // interned value id; 0 is the initial (absent) value
+  sim::Time invoked = 0;
+  sim::Time completed = kInf;
+  bool optional = false;  // timed-out write: may never take effect
+};
+
+// Depth-first search over linearization orders with memoization on
+// (linearized-set, register-value) states.
+class Search {
+ public:
+  explicit Search(std::vector<Entry> entries) : entries_(std::move(entries)) {}
+
+  bool Run() { return Dfs(0, 0); }
+
+ private:
+  bool Dfs(uint64_t mask, int value) {
+    if (AllMandatoryDone(mask)) {
+      return true;
+    }
+    const uint64_t state_key = mask;
+    auto [it, inserted] = visited_[value].insert(state_key);
+    if (!inserted) {
+      return false;
+    }
+    // Earliest completion among unlinearized mandatory entries bounds which
+    // entries may be linearized next.
+    sim::Time min_completed = kInf;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if ((mask & (1ULL << i)) == 0 && !entries_[i].optional) {
+        min_completed = std::min(min_completed, entries_[i].completed);
+      }
+    }
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if ((mask & (1ULL << i)) != 0) {
+        continue;
+      }
+      const Entry& e = entries_[i];
+      // Real-time precedence: op A precedes op B when A.completed <=
+      // B.invoked. The <= (rather than <) matches the NEAT test engine,
+      // which issues the next operation at the very instant the previous
+      // one completed — those are ordered, not concurrent.
+      if (e.invoked >= min_completed) {
+        continue;  // some other op must come first
+      }
+      if (e.is_write) {
+        if (Dfs(mask | (1ULL << i), e.value)) {
+          return true;
+        }
+      } else {
+        if (e.value == value && Dfs(mask | (1ULL << i), value)) {
+          return true;
+        }
+      }
+    }
+    // Optional (timed-out) writes may simply never happen: if only optional
+    // entries remain, the history is complete.
+    return false;
+  }
+
+  bool AllMandatoryDone(uint64_t mask) const {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if ((mask & (1ULL << i)) == 0 && !entries_[i].optional) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<Entry> entries_;
+  std::map<int, std::set<uint64_t>> visited_;
+};
+
+}  // namespace
+
+LinearizabilityResult CheckLinearizableKey(const History& history, const std::string& key) {
+  std::vector<Entry> entries;
+  std::map<std::string, int> value_ids;
+  value_ids[""] = 0;  // initial value: key absent
+  auto intern = [&value_ids](const std::string& v) {
+    auto [it, inserted] = value_ids.emplace(v, static_cast<int>(value_ids.size()));
+    return it->second;
+  };
+
+  for (const Operation& op : history.ops()) {
+    if (op.key != key) {
+      continue;
+    }
+    if (op.type == OpType::kWrite) {
+      if (op.status == OpStatus::kFail) {
+        continue;  // reported failed: must not take effect; dirty-read checker covers misuse
+      }
+      Entry e;
+      e.is_write = true;
+      e.value = intern(op.value);
+      e.invoked = op.invoked;
+      e.completed = op.status == OpStatus::kTimeout ? kInf : op.completed;
+      e.optional = op.status == OpStatus::kTimeout;
+      entries.push_back(e);
+    } else if (op.type == OpType::kRead) {
+      if (op.status != OpStatus::kOk) {
+        continue;  // failed/timed-out reads impose no constraint
+      }
+      Entry e;
+      e.is_write = false;
+      e.value = intern(op.value);
+      e.invoked = op.invoked;
+      e.completed = op.completed;
+      entries.push_back(e);
+    }
+  }
+
+  if (entries.size() > 62) {
+    return LinearizabilityResult{false, "history too large for key '" + key + "'"};
+  }
+  if (entries.empty()) {
+    return LinearizabilityResult{true, ""};
+  }
+  Search search(std::move(entries));
+  if (search.Run()) {
+    return LinearizabilityResult{true, ""};
+  }
+  return LinearizabilityResult{
+      false, "no valid linearization of reads/writes on key '" + key + "'"};
+}
+
+LinearizabilityResult CheckLinearizable(const History& history) {
+  std::set<std::string> keys;
+  for (const Operation& op : history.ops()) {
+    if (op.type == OpType::kWrite || op.type == OpType::kRead) {
+      keys.insert(op.key);
+    }
+  }
+  for (const std::string& key : keys) {
+    LinearizabilityResult result = CheckLinearizableKey(history, key);
+    if (!result.linearizable) {
+      return result;
+    }
+  }
+  return LinearizabilityResult{true, ""};
+}
+
+}  // namespace check

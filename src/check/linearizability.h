@@ -1,0 +1,36 @@
+// A Wing & Gong linearizability checker for register histories.
+//
+// Used by the property tests: the strongly consistent model systems (Raft
+// KV, primary-backup KV with a correct configuration) must produce
+// linearizable histories under arbitrary partitions, while the flawed
+// variants measurably do not. Each key is checked independently as a
+// last-write-wins register. Timed-out operations are ambiguous: a timed-out
+// write may have taken effect at any point after its invocation or never;
+// timed-out reads impose no constraint.
+
+#ifndef CHECK_LINEARIZABILITY_H_
+#define CHECK_LINEARIZABILITY_H_
+
+#include <string>
+
+#include "check/history.h"
+
+namespace check {
+
+struct LinearizabilityResult {
+  bool linearizable = true;
+  // For a violation: the key and a short explanation. For success: empty.
+  std::string reason;
+};
+
+// Checks every key in the history. Histories with more than 62 read/write
+// operations on a single key are rejected (checker is exponential; tests
+// stay far below this).
+LinearizabilityResult CheckLinearizable(const History& history);
+
+// Checks only the given key.
+LinearizabilityResult CheckLinearizableKey(const History& history, const std::string& key);
+
+}  // namespace check
+
+#endif  // CHECK_LINEARIZABILITY_H_

@@ -1,0 +1,66 @@
+#include "cluster/failure_detector.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cluster {
+
+FailureDetector::FailureDetector(net::NodeId self, std::vector<net::NodeId> peers,
+                                 Options options)
+    : self_(self), peers_(std::move(peers)), options_(options) {
+  peers_.erase(std::remove(peers_.begin(), peers_.end(), self_), peers_.end());
+  Reset(sim::kTimeZero);
+}
+
+void FailureDetector::Reset(sim::Time now) {
+  for (net::NodeId peer : peers_) {
+    last_heard_[peer] = now;
+  }
+}
+
+void FailureDetector::RecordHeartbeat(net::NodeId peer, sim::Time now) {
+  auto it = last_heard_.find(peer);
+  if (it != last_heard_.end()) {
+    it->second = now;
+  }
+}
+
+bool FailureDetector::IsAlive(net::NodeId peer, sim::Time now) const {
+  return IsAliveWithin(peer, now, DeathTimeout());
+}
+
+bool FailureDetector::IsAliveWithin(net::NodeId peer, sim::Time now,
+                                    sim::Duration timeout) const {
+  auto it = last_heard_.find(peer);
+  if (it == last_heard_.end()) {
+    return false;
+  }
+  return now - it->second <= timeout;
+}
+
+sim::Time FailureDetector::LastHeard(net::NodeId peer) const {
+  auto it = last_heard_.find(peer);
+  return it == last_heard_.end() ? sim::kTimeZero : it->second;
+}
+
+std::vector<net::NodeId> FailureDetector::AlivePeers(sim::Time now) const {
+  std::vector<net::NodeId> out;
+  for (net::NodeId peer : peers_) {
+    if (IsAlive(peer, now)) {
+      out.push_back(peer);
+    }
+  }
+  return out;
+}
+
+std::vector<net::NodeId> FailureDetector::DeadPeers(sim::Time now) const {
+  std::vector<net::NodeId> out;
+  for (net::NodeId peer : peers_) {
+    if (!IsAlive(peer, now)) {
+      out.push_back(peer);
+    }
+  }
+  return out;
+}
+
+}  // namespace cluster

@@ -1,0 +1,81 @@
+#include "cluster/process.h"
+
+#include <cassert>
+
+namespace cluster {
+
+Process::Process(sim::Simulator* simulator, net::Network* network, net::NodeId id,
+                 std::string name)
+    : simulator_(simulator), network_(network), id_(id), name_(std::move(name)) {}
+
+Process::~Process() {
+  if (!crashed_) {
+    network_->Register(id_, nullptr);
+  }
+}
+
+void Process::RegisterHandler() {
+  network_->Register(id_, [this](const net::Envelope& envelope) {
+    if (!crashed_) {
+      OnMessage(envelope);
+    }
+  });
+}
+
+void Process::Boot() {
+  assert(crashed_ && "Boot on a running process");
+  crashed_ = false;
+  ++epoch_;
+  RegisterHandler();
+  if (booted_once_) {
+    OnRestart();
+  }
+  booted_once_ = true;
+  OnStart();
+}
+
+void Process::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  ++epoch_;  // invalidates every pending timer
+  network_->Register(id_, nullptr);
+  TraceEvent("crash");
+  OnCrash();
+}
+
+void Process::Restart() {
+  assert(crashed_ && "Restart on a running process");
+  TraceEvent("restart");
+  Boot();
+}
+
+sim::EventId Process::After(sim::Duration delay, std::function<void()> fn) {
+  const uint64_t epoch = epoch_;
+  return simulator_->Schedule(delay, [this, epoch, fn = std::move(fn)]() {
+    if (!crashed_ && epoch_ == epoch) {
+      fn();
+    }
+  });
+}
+
+void Process::Every(sim::Duration period, std::function<void()> fn) {
+  ScheduleTick(epoch_, period, std::move(fn));
+}
+
+void Process::ScheduleTick(uint64_t epoch, sim::Duration period, std::function<void()> fn) {
+  simulator_->Schedule(period, [this, epoch, period, fn = std::move(fn)]() mutable {
+    if (crashed_ || epoch_ != epoch) {
+      return;
+    }
+    fn();
+    ScheduleTick(epoch, period, std::move(fn));
+  });
+}
+
+void Process::TraceEvent(const std::string& event, const std::string& detail) const {
+  simulator_->Trace().Append(simulator_->Now(), name_, event, detail);
+}
+
+}  // namespace cluster

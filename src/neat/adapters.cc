@@ -1,0 +1,243 @@
+#include "neat/adapters.h"
+
+namespace neat {
+
+bool LocksvcSystem::GetStatus() {
+  // Healthy when a lock round-trip works end to end.
+  static int probe = 0;
+  const std::string resource = "__status_probe_" + std::to_string(probe++);
+  if (cluster_.Lock(0, resource).status != check::OpStatus::kOk) {
+    return false;
+  }
+  return cluster_.Unlock(0, resource).status == check::OpStatus::kOk;
+}
+
+void SchedSystem::Shutdown() {
+  net::Group all = cluster_.worker_ids();
+  all.push_back(cluster_.rm_id());
+  all.push_back(cluster_.store_id());
+  cluster_.env().Crash(all);
+}
+
+namespace {
+
+// Picks the node the partition isolates.
+net::NodeId PickIsolated(pbkv::Cluster& cluster, IsolationTarget target) {
+  if (target == IsolationTarget::kLeader) {
+    const net::NodeId primary = cluster.FindPrimary();
+    if (primary != net::kInvalidNode) {
+      return primary;
+    }
+  }
+  // "Any replica": a fixed non-initial-leader replica keeps runs comparable.
+  return cluster.server_ids().back();
+}
+
+}  // namespace
+
+ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& test_case,
+                                uint64_t seed, bool strong) {
+  pbkv::Cluster::Config config;
+  config.options = options;
+  config.num_clients = 2;
+  config.seed = seed;
+  pbkv::Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(500));
+
+  ExecutionResult result;
+  result.trace = FormatTestCase(test_case);
+
+  constexpr int kMinorityClient = 0;
+  constexpr int kMajorityClient = 1;
+  cluster.client(kMinorityClient).set_allow_redirect(false);
+  cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
+  cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
+
+  bool partitioned = false;
+  bool slept_for_election = false;
+  net::Partition partition;
+  net::NodeId isolated = net::kInvalidNode;
+  int value_counter = 0;
+  const std::string key = "k";
+
+  auto client_for = [&](Side side) -> int {
+    if (side == Side::kMinority && partitioned) {
+      // Section 5.2: events on the old leader's side must be invoked right
+      // after the partition, before it steps down — no sleep.
+      cluster.client(kMinorityClient).set_contact(isolated);
+      return kMinorityClient;
+    }
+    if (partitioned && !slept_for_election) {
+      // ...while on the majority side, the test sleeps until a new leader
+      // is elected (the NEAT tests' SLEEP_LEADER_ELECTION_PERIOD).
+      cluster.Settle(sim::Milliseconds(600));
+      slept_for_election = true;
+    }
+    net::NodeId contact = cluster.server_ids().front();
+    if (partitioned) {
+      for (net::NodeId node : cluster.server_ids()) {
+        if (node != isolated) {
+          contact = node;
+          break;
+        }
+      }
+    }
+    cluster.client(kMajorityClient).set_contact(contact);
+    return kMajorityClient;
+  };
+
+  for (const TestEvent& event : test_case) {
+    switch (event.kind) {
+      case EventKind::kPartition: {
+        if (partitioned) {
+          cluster.partitioner().Heal(partition);
+        }
+        isolated = PickIsolated(cluster, event.target);
+        const net::Group rest =
+            net::Partitioner::Rest(cluster.server_ids(), {isolated});
+        switch (event.partition) {
+          case PartitionKind::kComplete:
+            partition = cluster.partitioner().Complete({isolated}, rest);
+            break;
+          case PartitionKind::kPartial:
+            // Cut the isolated node from all but one bridge replica.
+            partition = cluster.partitioner().Partial(
+                {isolated}, net::Group(rest.begin(), rest.end() - 1));
+            break;
+          case PartitionKind::kSimplex:
+            partition = cluster.partitioner().Simplex({isolated}, rest);
+            break;
+        }
+        partitioned = true;
+        slept_for_election = false;
+        break;
+      }
+      case EventKind::kHeal:
+        if (partitioned) {
+          cluster.partitioner().Heal(partition);
+          partitioned = false;
+        }
+        break;
+      case EventKind::kWrite:
+        cluster.Put(client_for(event.side), key, "v" + std::to_string(++value_counter));
+        break;
+      case EventKind::kRead:
+        cluster.Get(client_for(event.side), key);
+        break;
+      case EventKind::kDelete:
+        cluster.Delete(client_for(event.side), key);
+        break;
+      case EventKind::kLock:
+      case EventKind::kUnlock:
+        break;  // pbkv has no locks; the locksvc bench covers those
+    }
+  }
+
+  if (partitioned) {
+    // The studied partitions last minutes to hours; let the system run its
+    // failure-handling (elections, step-downs) before the heal so latent
+    // damage — e.g. asynchronously replicated writes stranded on a deposed
+    // leader — manifests.
+    cluster.Settle(sim::Milliseconds(800));
+    cluster.partitioner().Heal(partition);
+  }
+  cluster.Settle(sim::Seconds(1));
+  cluster.client(kMajorityClient).set_contact(cluster.server_ids().front());
+  cluster.client(kMajorityClient).set_allow_redirect(true);
+  cluster.Get(kMajorityClient, key, /*final_read=*/true);
+
+  const check::History& history = cluster.history();
+  auto add = [&result](std::vector<check::Violation> violations) {
+    result.violations.insert(result.violations.end(), violations.begin(), violations.end());
+  };
+  add(check::CheckDirtyReads(history));
+  add(check::CheckDataLoss(history));
+  add(check::CheckReappearance(history));
+  if (strong) {
+    add(check::CheckStaleReads(history));
+  }
+  result.found_failure = !result.violations.empty();
+  return result;
+}
+
+ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCase& test_case,
+                                   uint64_t seed) {
+  locksvc::Cluster::Config config;
+  config.options = options;
+  config.num_clients = 2;
+  config.seed = seed;
+  locksvc::Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(300));
+
+  ExecutionResult result;
+  result.trace = FormatTestCase(test_case);
+
+  constexpr int kMinorityClient = 0;
+  constexpr int kMajorityClient = 1;
+  cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
+  cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
+
+  bool partitioned = false;
+  net::Partition partition;
+  const net::NodeId isolated = cluster.server_ids().back();
+  const std::string lock = "L";
+
+  auto client_for = [&](Side side) -> int {
+    if (side == Side::kMinority && partitioned) {
+      cluster.client(kMinorityClient).set_contact(isolated);
+      return kMinorityClient;
+    }
+    net::NodeId contact = cluster.server_ids().front();
+    if (partitioned && contact == isolated) {
+      contact = cluster.server_ids()[1];
+    }
+    cluster.client(kMajorityClient).set_contact(contact);
+    return kMajorityClient;
+  };
+
+  for (const TestEvent& event : test_case) {
+    switch (event.kind) {
+      case EventKind::kPartition: {
+        if (partitioned) {
+          cluster.partitioner().Heal(partition);
+        }
+        const net::Group rest = net::Partitioner::Rest(cluster.server_ids(), {isolated});
+        if (event.partition == PartitionKind::kPartial) {
+          partition = cluster.partitioner().Partial(
+              {isolated}, net::Group(rest.begin(), rest.end() - 1));
+        } else if (event.partition == PartitionKind::kSimplex) {
+          partition = cluster.partitioner().Simplex({isolated}, rest);
+        } else {
+          partition = cluster.partitioner().Complete({isolated}, rest);
+        }
+        partitioned = true;
+        // Let the flawed views shrink, as the Ignite failures require.
+        cluster.Settle(sim::Milliseconds(400));
+        break;
+      }
+      case EventKind::kHeal:
+        if (partitioned) {
+          cluster.partitioner().Heal(partition);
+          partitioned = false;
+        }
+        break;
+      case EventKind::kLock:
+        cluster.Lock(client_for(event.side), lock);
+        break;
+      case EventKind::kUnlock:
+        cluster.Unlock(client_for(event.side), lock);
+        break;
+      default:
+        break;  // the lock service has no KV surface
+    }
+  }
+  if (partitioned) {
+    cluster.partitioner().Heal(partition);
+  }
+  cluster.Settle(sim::Seconds(1));
+  result.violations = check::CheckBrokenLocks(cluster.history());
+  result.found_failure = !result.violations.empty();
+  return result;
+}
+
+}  // namespace neat

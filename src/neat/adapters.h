@@ -1,0 +1,120 @@
+// ISystem adapters for the model systems, plus the executor that runs
+// generated test cases (neat/testgen.h) against the primary-backup store.
+// Together these are the "seven systems tested with NEAT" layer of the
+// paper, scaled to the systems this repository implements.
+
+#ifndef NEAT_ADAPTERS_H_
+#define NEAT_ADAPTERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/checkers.h"
+#include "neat/system.h"
+#include "neat/testgen.h"
+#include "systems/locksvc/cluster.h"
+#include "systems/mqueue/cluster.h"
+#include "systems/pbkv/cluster.h"
+#include "systems/raftkv/cluster.h"
+#include "systems/sched/cluster.h"
+
+namespace neat {
+
+class PbkvSystem : public ISystem {
+ public:
+  explicit PbkvSystem(const pbkv::Cluster::Config& config) : cluster_(config) {}
+  std::string Name() const override { return "pbkv"; }
+  TestEnv& Env() override { return cluster_.env(); }
+  net::Group Servers() const override { return cluster_.server_ids(); }
+  bool GetStatus() override { return cluster_.FindPrimary() != net::kInvalidNode; }
+  void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
+  pbkv::Cluster& cluster() { return cluster_; }
+
+ private:
+  pbkv::Cluster cluster_;
+};
+
+class RaftKvSystem : public ISystem {
+ public:
+  explicit RaftKvSystem(const raftkv::Cluster::Config& config) : cluster_(config) {}
+  std::string Name() const override { return "raftkv"; }
+  TestEnv& Env() override { return cluster_.env(); }
+  net::Group Servers() const override { return cluster_.server_ids(); }
+  bool GetStatus() override { return !cluster_.Leaders().empty(); }
+  void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
+  raftkv::Cluster& cluster() { return cluster_; }
+
+ private:
+  raftkv::Cluster cluster_;
+};
+
+class LocksvcSystem : public ISystem {
+ public:
+  explicit LocksvcSystem(const locksvc::Cluster::Config& config) : cluster_(config) {}
+  std::string Name() const override { return "locksvc"; }
+  TestEnv& Env() override { return cluster_.env(); }
+  net::Group Servers() const override { return cluster_.server_ids(); }
+  bool GetStatus() override;
+  void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
+  locksvc::Cluster& cluster() { return cluster_; }
+
+ private:
+  locksvc::Cluster cluster_;
+};
+
+class MqueueSystem : public ISystem {
+ public:
+  explicit MqueueSystem(const mqueue::Cluster::Config& config) : cluster_(config) {}
+  std::string Name() const override { return "mqueue"; }
+  TestEnv& Env() override { return cluster_.env(); }
+  net::Group Servers() const override { return cluster_.broker_ids(); }
+  bool GetStatus() override { return cluster_.MasterPerRegistry() != net::kInvalidNode; }
+  void Shutdown() override { cluster_.env().Crash(cluster_.broker_ids()); }
+  mqueue::Cluster& cluster() { return cluster_; }
+
+ private:
+  mqueue::Cluster cluster_;
+};
+
+class SchedSystem : public ISystem {
+ public:
+  explicit SchedSystem(const sched::Cluster::Config& config) : cluster_(config) {}
+  std::string Name() const override { return "sched"; }
+  TestEnv& Env() override { return cluster_.env(); }
+  net::Group Servers() const override { return cluster_.worker_ids(); }
+  bool GetStatus() override { return !cluster_.rm().crashed(); }
+  void Shutdown() override;
+  sched::Cluster& cluster() { return cluster_; }
+
+ private:
+  sched::Cluster cluster_;
+};
+
+// --- test-case executor ---
+
+struct ExecutionResult {
+  // Catastrophic violations found by the checkers after the run.
+  std::vector<check::Violation> violations;
+  bool found_failure = false;
+  std::string trace;  // the executed event sequence
+};
+
+// Runs one abstract test case against a fresh pbkv cluster with the given
+// options. Client events on the minority side go through a client pinned to
+// the isolated node; majority-side events go through a client pinned to the
+// surviving majority. After the sequence, the partition is healed, the
+// system settles, final verification reads run, and the checkers scan the
+// history. Stale reads count as failures only under strong consistency
+// (`strong` flag), matching the paper's classification.
+ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& test_case,
+                                uint64_t seed, bool strong = true);
+
+// The same executor against the lock service: lock/unlock events map to the
+// locksvc client API, and the broken-locks checker judges the run.
+ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCase& test_case,
+                                   uint64_t seed);
+
+}  // namespace neat
+
+#endif  // NEAT_ADAPTERS_H_

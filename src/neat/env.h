@@ -1,0 +1,89 @@
+// The NEAT test environment (paper Section 6.3, Figure 4).
+//
+// One TestEnv is the "test engine" node of a NEAT deployment: it owns the
+// simulated network and its partition backend, imposes a global order on
+// client operations (each operation runs to completion before the next
+// starts), records every operation in a history for the checkers, and
+// provides the paper's fault-injection API:
+//
+//   Partition complete(groupA, groupB)
+//   Partition partial(groupA, groupB)
+//   Partition simplex(groupSrc, groupDst)
+//   void heal(Partition)
+//   rest(group)                       — all other nodes
+//   crash(nodes) / restart(nodes)     — the crash API
+//   sleep(duration)                   — advance virtual time
+//
+// The OpenFlow-style and iptables-style partitioners are selected by
+// Options::use_switch_backend, mirroring NEAT's two implementations.
+
+#ifndef NEAT_ENV_H_
+#define NEAT_ENV_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "check/history.h"
+#include "cluster/process.h"
+#include "net/network.h"
+#include "net/partition.h"
+#include "sim/simulator.h"
+
+namespace neat {
+
+class TestEnv {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    // True: central-switch rules (OpenFlow analog). False: per-host
+    // firewall chains (iptables analog).
+    bool use_switch_backend = true;
+  };
+
+  explicit TestEnv(const Options& options);
+
+  TestEnv(const TestEnv&) = delete;
+  TestEnv& operator=(const TestEnv&) = delete;
+
+  sim::Simulator& simulator() { return simulator_; }
+  net::Network& network() { return *network_; }
+  net::Partitioner& partitioner() { return *partitioner_; }
+  net::PartitionBackend& backend() { return *backend_; }
+  check::History& history() { return history_; }
+
+  // --- the paper's partition API ---
+  net::Partition Complete(const net::Group& group_a, const net::Group& group_b);
+  net::Partition Partial(const net::Group& group_a, const net::Group& group_b);
+  net::Partition Simplex(const net::Group& group_src, const net::Group& group_dst);
+  void Heal(net::Partition& partition);
+  // All registered nodes not in `group`.
+  net::Group Rest(const net::Group& group) const;
+
+  // --- the crash API ---
+  // Processes register so they can be addressed by node id.
+  void RegisterProcess(cluster::Process* process);
+  cluster::Process* FindProcess(net::NodeId node) const;
+  void Crash(const net::Group& nodes);
+  void Restart(const net::Group& nodes);
+
+  // --- global operation order ---
+  // Advances virtual time (the paper's sleep()).
+  void Sleep(sim::Duration duration);
+  // Runs the simulation until `done` holds or `deadline_from_now` passes;
+  // the engine's way of running one client operation to completion.
+  bool Await(const std::function<bool()>& done,
+             sim::Duration deadline_from_now = sim::Seconds(5));
+
+ private:
+  sim::Simulator simulator_;
+  std::unique_ptr<net::PartitionBackend> backend_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::Partitioner> partitioner_;
+  check::History history_;
+  std::map<net::NodeId, cluster::Process*> processes_;
+};
+
+}  // namespace neat
+
+#endif  // NEAT_ENV_H_

@@ -1,0 +1,211 @@
+#include "neat/testgen.h"
+
+#include <functional>
+#include <sstream>
+
+namespace neat {
+namespace {
+
+const char* KindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPartition:
+      return "partition";
+    case EventKind::kHeal:
+      return "heal";
+    case EventKind::kWrite:
+      return "write";
+    case EventKind::kRead:
+      return "read";
+    case EventKind::kDelete:
+      return "delete";
+    case EventKind::kLock:
+      return "lock";
+    case EventKind::kUnlock:
+      return "unlock";
+  }
+  return "?";
+}
+
+const char* PartitionName(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kComplete:
+      return "complete";
+    case PartitionKind::kPartial:
+      return "partial";
+    case PartitionKind::kSimplex:
+      return "simplex";
+  }
+  return "?";
+}
+
+bool IsClientEvent(EventKind kind) {
+  return kind != EventKind::kPartition && kind != EventKind::kHeal;
+}
+
+// The "natural order" partial order of Table 9: an event that undoes or
+// observes another should not come first.
+bool NaturalOrderViolated(const TestCase& prefix, const TestEvent& next) {
+  auto count = [&prefix](EventKind kind) {
+    int n = 0;
+    for (const TestEvent& event : prefix) {
+      if (event.kind == kind) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  switch (next.kind) {
+    case EventKind::kRead:
+    case EventKind::kDelete:
+      return count(EventKind::kWrite) == 0;  // read/delete something written
+    case EventKind::kUnlock:
+      return count(EventKind::kUnlock) >= count(EventKind::kLock);
+    case EventKind::kHeal:
+      return count(EventKind::kPartition) == 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string TestEvent::DebugString() const {
+  std::ostringstream os;
+  os << KindName(kind);
+  if (kind == EventKind::kPartition) {
+    os << "(" << PartitionName(partition) << ","
+       << (target == IsolationTarget::kLeader ? "leader" : "any-replica") << ")";
+  } else if (IsClientEvent(kind)) {
+    os << "(" << (side == Side::kMinority ? "minority" : "majority") << ")";
+  }
+  return os.str();
+}
+
+bool TestEvent::operator==(const TestEvent& other) const {
+  if (kind != other.kind) {
+    return false;
+  }
+  if (kind == EventKind::kPartition) {
+    return partition == other.partition && target == other.target;
+  }
+  if (IsClientEvent(kind)) {
+    return side == other.side;
+  }
+  return true;
+}
+
+std::string FormatTestCase(const TestCase& test_case) {
+  std::ostringstream os;
+  for (size_t i = 0; i < test_case.size(); ++i) {
+    if (i > 0) {
+      os << " -> ";
+    }
+    os << test_case[i].DebugString();
+  }
+  return os.str();
+}
+
+std::vector<TestEvent> TestCaseGenerator::Instances() const {
+  std::vector<TestEvent> out;
+  for (PartitionKind partition : alphabet_.partitions) {
+    for (IsolationTarget target : alphabet_.targets) {
+      TestEvent event;
+      event.kind = EventKind::kPartition;
+      event.partition = partition;
+      event.target = target;
+      out.push_back(event);
+    }
+  }
+  {
+    TestEvent heal;
+    heal.kind = EventKind::kHeal;
+    out.push_back(heal);
+  }
+  for (EventKind kind : alphabet_.client_events) {
+    for (Side side : alphabet_.sides) {
+      TestEvent event;
+      event.kind = kind;
+      event.side = side;
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+uint64_t TestCaseGenerator::UnprunedCount(int length) const {
+  const uint64_t n = Instances().size();
+  uint64_t total = 1;
+  for (int i = 0; i < length; ++i) {
+    total *= n;
+  }
+  return total;
+}
+
+bool TestCaseGenerator::Admissible(const TestCase& prefix, const TestEvent& next,
+                                   const PruningRules& rules) const {
+  int partitions = 0;
+  int client_events = 0;
+  for (const TestEvent& event : prefix) {
+    if (event.kind == EventKind::kPartition) {
+      ++partitions;
+    } else if (IsClientEvent(event.kind)) {
+      ++client_events;
+    }
+  }
+  if (rules.partition_first) {
+    if (prefix.empty()) {
+      if (next.kind != EventKind::kPartition) {
+        return false;
+      }
+    } else if (next.kind == EventKind::kPartition && partitions > 0) {
+      // With partition-first there is exactly one injection point.
+      return false;
+    }
+  }
+  if (rules.single_partition && next.kind == EventKind::kPartition && partitions >= 1) {
+    return false;
+  }
+  if (rules.max_client_events > 0 && IsClientEvent(next.kind) &&
+      client_events >= rules.max_client_events) {
+    return false;
+  }
+  if (rules.natural_order && NaturalOrderViolated(prefix, next)) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<TestCase> TestCaseGenerator::Enumerate(int length,
+                                                   const PruningRules& rules) const {
+  const std::vector<TestEvent> instances = Instances();
+  std::vector<TestCase> out;
+  TestCase current;
+  // Iterative depth-first enumeration over admissible extensions.
+  std::function<void()> extend = [&]() {
+    if (static_cast<int>(current.size()) == length) {
+      out.push_back(current);
+      return;
+    }
+    for (const TestEvent& next : instances) {
+      if (Admissible(current, next, rules)) {
+        current.push_back(next);
+        extend();
+        current.pop_back();
+      }
+    }
+  };
+  extend();
+  return out;
+}
+
+std::vector<TestCase> TestCaseGenerator::EnumerateUpTo(int max_length,
+                                                       const PruningRules& rules) const {
+  std::vector<TestCase> out;
+  for (int length = 1; length <= max_length; ++length) {
+    auto cases = Enumerate(length, rules);
+    out.insert(out.end(), cases.begin(), cases.end());
+  }
+  return out;
+}
+
+}  // namespace neat

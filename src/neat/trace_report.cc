@@ -1,0 +1,67 @@
+#include "neat/trace_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace neat {
+namespace {
+
+// The events that describe leadership movement across the model systems.
+bool IsLeadershipEvent(const std::string& event) {
+  return event == "election-start" || event == "elected" || event == "step-down" ||
+         event == "election-timeout" || event == "vote" || event == "master" ||
+         event == "resign" || event == "demoted";
+}
+
+}  // namespace
+
+TraceReport Summarize(const sim::TraceLog& trace) {
+  TraceReport report;
+  report.total_records = trace.size();
+  for (const sim::TraceRecord& record : trace.records()) {
+    ++report.event_counts[record.event];
+    if (record.component == "net" && record.event == "drop") {
+      // Detail looks like "3->1 pbkv.Replicate (partitioned at send)".
+      const size_t space = record.detail.find(' ');
+      if (space != std::string::npos) {
+        ++report.drops_per_link[record.detail.substr(0, space)];
+      }
+    }
+    if (IsLeadershipEvent(record.event)) {
+      report.leadership_events.push_back(record);
+    }
+  }
+  return report;
+}
+
+std::string FormatReport(const TraceReport& report) {
+  std::ostringstream os;
+  size_t total_drops = 0;
+  std::string worst_link;
+  size_t worst_count = 0;
+  for (const auto& [link, count] : report.drops_per_link) {
+    total_drops += count;
+    if (count > worst_count) {
+      worst_count = count;
+      worst_link = link;
+    }
+  }
+  os << report.total_records << " trace records; " << total_drops << " messages dropped on "
+     << report.drops_per_link.size() << " links";
+  if (!worst_link.empty()) {
+    os << " (worst: " << worst_link << " x" << worst_count << ")";
+  }
+  os << "\n";
+  os << "leadership timeline (" << report.leadership_events.size() << " events):\n";
+  for (const sim::TraceRecord& record : report.leadership_events) {
+    os << "  t=" << sim::FormatTime(record.when) << "  " << record.component << "  "
+       << record.event;
+    if (!record.detail.empty()) {
+      os << "  " << record.detail;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace neat

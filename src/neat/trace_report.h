@@ -1,0 +1,40 @@
+// Trace inspection: summarizing a simulation trace into a failure
+// narrative. This is the paper's future-work direction made concrete —
+// "collect detailed system traces of failures and build tools to verify and
+// visualize system protocols ... help developers test, debug, and inspect
+// protocols under different failure scenarios".
+
+#ifndef NEAT_TRACE_REPORT_H_
+#define NEAT_TRACE_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace neat {
+
+struct TraceReport {
+  // Total records, by event name ("drop", "elected", "step-down", ...).
+  std::map<std::string, size_t> event_counts;
+  // Dropped messages per directed link, parsed from the network's drop
+  // records ("3->1 pbkv.Replicate (partitioned at send)").
+  std::map<std::string, size_t> drops_per_link;
+  // The leadership timeline: every election/step-down record in order.
+  std::vector<sim::TraceRecord> leadership_events;
+  size_t total_records = 0;
+};
+
+// Builds a report over the whole trace.
+TraceReport Summarize(const sim::TraceLog& trace);
+
+// Renders the report as a short human-readable narrative:
+//   347 trace records; 41 messages dropped on 4 links (worst: 1->2 x18)
+//   t=650ms  pbkv.n2  election-start  term=2
+//   ...
+std::string FormatReport(const TraceReport& report);
+
+}  // namespace neat
+
+#endif  // NEAT_TRACE_REPORT_H_

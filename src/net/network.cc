@@ -1,0 +1,91 @@
+#include "net/network.h"
+
+#include <string>
+
+namespace net {
+namespace {
+
+std::string LinkString(NodeId src, NodeId dst) {
+  return std::to_string(src) + "->" + std::to_string(dst);
+}
+
+}  // namespace
+
+void Network::Register(NodeId node, Handler handler) {
+  if (handler) {
+    handlers_[node] = std::move(handler);
+  } else {
+    handlers_[node] = nullptr;
+  }
+}
+
+Group Network::Universe() const {
+  Group out;
+  out.reserve(handlers_.size());
+  for (const auto& [node, handler] : handlers_) {
+    out.push_back(node);
+  }
+  return out;
+}
+
+void Network::SetLinkLoss(NodeId src, NodeId dst, double loss) {
+  if (loss <= 0.0) {
+    link_loss_.erase({src, dst});
+  } else {
+    link_loss_[{src, dst}] = loss;
+  }
+}
+
+void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Message> msg) {
+  ++messages_sent_;
+  Envelope envelope{src, dst, simulator_->Now(), std::move(msg)};
+
+  if (!backend_->Allows(src, dst)) {
+    ++messages_dropped_;
+    simulator_->Trace().Append(simulator_->Now(), "net", "drop",
+                               LinkString(src, dst) + " " + envelope.msg->TypeName() +
+                                   " (partitioned at send)");
+    return;
+  }
+  auto loss = link_loss_.find({src, dst});
+  if (loss != link_loss_.end() && simulator_->Rand().NextBool(loss->second)) {
+    ++messages_dropped_;
+    simulator_->Trace().Append(simulator_->Now(), "net", "drop",
+                               LinkString(src, dst) + " " + envelope.msg->TypeName() +
+                                   " (flaky link)");
+    return;
+  }
+
+  sim::Duration delay = latency_.base;
+  if (latency_.jitter > 0) {
+    delay += static_cast<sim::Duration>(
+        simulator_->Rand().NextBelow(static_cast<uint64_t>(latency_.jitter) + 1));
+  }
+  simulator_->Schedule(delay, [this, envelope = std::move(envelope)]() mutable {
+    Deliver(std::move(envelope));
+  });
+}
+
+void Network::Deliver(Envelope envelope) {
+  // A partition installed while the packet was in flight also kills it:
+  // switches and firewalls drop queued packets when rules change.
+  if (!backend_->Allows(envelope.src, envelope.dst)) {
+    ++messages_dropped_;
+    simulator_->Trace().Append(simulator_->Now(), "net", "drop",
+                               LinkString(envelope.src, envelope.dst) + " " +
+                                   envelope.msg->TypeName() + " (partitioned in flight)");
+    return;
+  }
+  auto it = handlers_.find(envelope.dst);
+  if (it == handlers_.end() || !it->second) {
+    ++messages_dropped_;
+    simulator_->Trace().Append(simulator_->Now(), "net", "drop",
+                               LinkString(envelope.src, envelope.dst) + " " +
+                                   envelope.msg->TypeName() + " (no receiver)");
+    return;
+  }
+  ++messages_delivered_;
+  it->second(envelope);
+}
+
+}  // namespace net

@@ -1,0 +1,86 @@
+// The simulated message network.
+//
+// Processes register a delivery handler under their NodeId and send messages
+// to peers; the network applies the partition backend's verdict, a latency
+// model, and optional per-link flakiness, then schedules delivery on the
+// simulator. Dropped messages are recorded in the trace log, which is how
+// scenario tests explain which partition rule bit.
+
+#ifndef NET_NETWORK_H_
+#define NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "net/message.h"
+#include "net/partition.h"
+#include "sim/simulator.h"
+
+namespace net {
+
+struct LatencyModel {
+  sim::Duration base = sim::Microseconds(200);
+  sim::Duration jitter = sim::Microseconds(100);  // uniform in [0, jitter]
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  Network(sim::Simulator* simulator, PartitionBackend* backend)
+      : simulator_(simulator), backend_(backend) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Attaches a process. Re-registering a NodeId replaces its handler (used
+  // by restart). Pass a null handler to detach.
+  void Register(NodeId node, Handler handler);
+
+  // Sends a message. The message is dropped when the partition backend
+  // forbids the link at send or delivery time, when the link is flaky and
+  // the loss draw fires, or when the destination is not registered.
+  void Send(NodeId src, NodeId dst, std::shared_ptr<const Message> msg);
+
+  // Convenience for freshly constructed message objects.
+  template <typename M, typename... Args>
+  void SendNew(NodeId src, NodeId dst, Args&&... args) {
+    Send(src, dst, std::make_shared<const M>(std::forward<Args>(args)...));
+  }
+
+  // Sets a directed link loss probability in [0, 1]; flaky links are one of
+  // the causes of partial partitions the paper cites.
+  void SetLinkLoss(NodeId src, NodeId dst, double loss);
+
+  void set_latency(LatencyModel latency) { latency_ = latency; }
+  const LatencyModel& latency() const { return latency_; }
+
+  PartitionBackend* backend() const { return backend_; }
+  sim::Simulator* simulator() const { return simulator_; }
+
+  // All node ids ever registered, in order (the partition API's universe).
+  Group Universe() const;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  void Deliver(Envelope envelope);
+
+  sim::Simulator* simulator_;
+  PartitionBackend* backend_;
+  LatencyModel latency_;
+  std::map<NodeId, Handler> handlers_;
+  std::map<std::pair<NodeId, NodeId>, double> link_loss_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace net
+
+#endif  // NET_NETWORK_H_

@@ -1,0 +1,129 @@
+#include "net/partition.h"
+
+#include <algorithm>
+
+namespace net {
+
+// --- SwitchPartitioner ---
+
+bool SwitchPartitioner::Allows(NodeId src, NodeId dst) const {
+  // Drop rules have priority over the default learning-switch forwarding.
+  for (const auto& [id, rule] : rules_) {
+    if (rule.srcs.count(src) != 0 && rule.dsts.count(dst) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RuleId SwitchPartitioner::Block(const Group& srcs, const Group& dsts) {
+  FlowRule rule;
+  rule.srcs.insert(srcs.begin(), srcs.end());
+  rule.dsts.insert(dsts.begin(), dsts.end());
+  const RuleId id = next_id_++;
+  rules_.emplace(id, std::move(rule));
+  return id;
+}
+
+bool SwitchPartitioner::Unblock(RuleId id) { return rules_.erase(id) != 0; }
+
+// --- FirewallPartitioner ---
+
+bool FirewallPartitioner::Allows(NodeId src, NodeId dst) const {
+  auto src_it = hosts_.find(src);
+  if (src_it != hosts_.end()) {
+    auto egress = src_it->second.egress_drop.find(dst);
+    if (egress != src_it->second.egress_drop.end() && !egress->second.empty()) {
+      return false;
+    }
+  }
+  auto dst_it = hosts_.find(dst);
+  if (dst_it != hosts_.end()) {
+    auto ingress = dst_it->second.ingress_drop.find(src);
+    if (ingress != dst_it->second.ingress_drop.end() && !ingress->second.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RuleId FirewallPartitioner::Block(const Group& srcs, const Group& dsts) {
+  const RuleId id = next_id_++;
+  live_rules_.insert(id);
+  for (NodeId s : srcs) {
+    for (NodeId d : dsts) {
+      hosts_[s].egress_drop[d].insert(id);
+      hosts_[d].ingress_drop[s].insert(id);
+    }
+  }
+  return id;
+}
+
+bool FirewallPartitioner::Unblock(RuleId id) {
+  if (live_rules_.erase(id) == 0) {
+    return false;
+  }
+  for (auto& [node, chains] : hosts_) {
+    for (auto& [peer, ids] : chains.egress_drop) {
+      ids.erase(id);
+    }
+    for (auto& [peer, ids] : chains.ingress_drop) {
+      ids.erase(id);
+    }
+  }
+  return true;
+}
+
+size_t FirewallPartitioner::rule_count() const { return live_rules_.size(); }
+
+// --- Partitioner ---
+
+Partition Partitioner::MakeBidirectional(const Group& a, const Group& b,
+                                         const std::string& kind) {
+  Partition p;
+  p.id = next_partition_id_++;
+  p.kind = kind;
+  p.rules.push_back(backend_->Block(a, b));
+  p.rules.push_back(backend_->Block(b, a));
+  return p;
+}
+
+Partition Partitioner::Complete(const Group& group_a, const Group& group_b) {
+  return MakeBidirectional(group_a, group_b, "complete");
+}
+
+Partition Partitioner::Partial(const Group& group_a, const Group& group_b) {
+  return MakeBidirectional(group_a, group_b, "partial");
+}
+
+Partition Partitioner::Simplex(const Group& group_src, const Group& group_dst) {
+  Partition p;
+  p.id = next_partition_id_++;
+  p.kind = "simplex";
+  // Traffic flows src -> dst; the reverse direction is dropped.
+  p.rules.push_back(backend_->Block(group_dst, group_src));
+  return p;
+}
+
+void Partitioner::Heal(Partition& partition) {
+  if (partition.healed) {
+    return;
+  }
+  for (RuleId id : partition.rules) {
+    backend_->Unblock(id);
+  }
+  partition.rules.clear();
+  partition.healed = true;
+}
+
+Group Partitioner::Rest(const Group& universe, const Group& group) {
+  Group out;
+  for (NodeId n : universe) {
+    if (std::find(group.begin(), group.end(), n) == group.end()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace net

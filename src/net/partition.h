@@ -1,0 +1,138 @@
+// Network-partitioning fault injection.
+//
+// A PartitionBackend decides, per directed (src, dst) pair, whether traffic
+// is allowed. Faults are installed as directional block rules; the three
+// partition types of the paper (complete, partial, simplex — Figure 1) are
+// built from these rules by net::Partitioner.
+//
+// Two backends mirror NEAT's two implementations:
+//  - SwitchPartitioner: a central priority-rule table, modelling the
+//    OpenFlow/Floodlight controller that installs drop rules above the
+//    learning-switch rules.
+//  - FirewallPartitioner: per-node ingress/egress chains, modelling the
+//    iptables deployment that alters firewall rules at every end host.
+// Both enforce identical semantics; tests verify their equivalence.
+
+#ifndef NET_PARTITION_H_
+#define NET_PARTITION_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+
+namespace net {
+
+// Identifies one installed directional block rule.
+using RuleId = uint64_t;
+
+class PartitionBackend {
+ public:
+  virtual ~PartitionBackend() = default;
+
+  // True if a packet from src to dst would currently be forwarded.
+  virtual bool Allows(NodeId src, NodeId dst) const = 0;
+
+  // Installs a rule dropping all traffic from any node in `srcs` to any node
+  // in `dsts` (one direction only).
+  virtual RuleId Block(const Group& srcs, const Group& dsts) = 0;
+
+  // Removes a previously installed rule. Returns false if unknown.
+  virtual bool Unblock(RuleId id) = 0;
+
+  // Number of rules currently installed (for tests and benches).
+  virtual size_t rule_count() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Central switch with a priority flow table (OpenFlow analog). Drop rules sit
+// at a higher priority than the default learning-switch forward-all rule.
+class SwitchPartitioner : public PartitionBackend {
+ public:
+  bool Allows(NodeId src, NodeId dst) const override;
+  RuleId Block(const Group& srcs, const Group& dsts) override;
+  bool Unblock(RuleId id) override;
+  size_t rule_count() const override { return rules_.size(); }
+  std::string name() const override { return "switch"; }
+
+ private:
+  struct FlowRule {
+    std::set<NodeId> srcs;
+    std::set<NodeId> dsts;
+  };
+  RuleId next_id_ = 1;
+  std::map<RuleId, FlowRule> rules_;
+};
+
+// Per-host firewall chains (iptables analog). Block(srcs, dsts) adds an
+// egress entry on every src host and an ingress entry on every dst host;
+// a packet is dropped if either endpoint's chain matches.
+class FirewallPartitioner : public PartitionBackend {
+ public:
+  bool Allows(NodeId src, NodeId dst) const override;
+  RuleId Block(const Group& srcs, const Group& dsts) override;
+  bool Unblock(RuleId id) override;
+  size_t rule_count() const override;
+  std::string name() const override { return "firewall"; }
+
+ private:
+  struct HostChains {
+    // Maps peer -> rule ids that drop traffic in that direction.
+    std::map<NodeId, std::set<RuleId>> egress_drop;   // this host -> peer
+    std::map<NodeId, std::set<RuleId>> ingress_drop;  // peer -> this host
+  };
+  RuleId next_id_ = 1;
+  std::set<RuleId> live_rules_;
+  std::map<NodeId, HostChains> hosts_;
+};
+
+// A handle to an injected partition; holds the rules that created it so the
+// partition can be healed as a unit.
+struct Partition {
+  uint64_t id = 0;
+  std::vector<RuleId> rules;
+  std::string kind;  // "complete" | "partial" | "simplex"
+  bool healed = false;
+};
+
+// The NEAT partition API (Section 6.2): complete / partial / simplex / heal.
+class Partitioner {
+ public:
+  explicit Partitioner(PartitionBackend* backend) : backend_(backend) {}
+
+  // Complete partition: groupA and groupB cannot exchange traffic in either
+  // direction. For a true complete partition the two groups should cover the
+  // whole cluster; the mechanics do not require it.
+  Partition Complete(const Group& group_a, const Group& group_b);
+
+  // Partial partition: same bidirectional cut between groupA and groupB, but
+  // nodes outside both groups keep full connectivity to both.
+  Partition Partial(const Group& group_a, const Group& group_b);
+
+  // Simplex partition: packets flow only from group_src to group_dst; the
+  // reverse direction is dropped.
+  Partition Simplex(const Group& group_src, const Group& group_dst);
+
+  // Heals a partition; idempotent.
+  void Heal(Partition& partition);
+
+  // Helper mirroring NEAT's Partitioner.rest(): all registered nodes not in
+  // `group`, in id order. The universe is supplied by the caller.
+  static Group Rest(const Group& universe, const Group& group);
+
+  PartitionBackend* backend() const { return backend_; }
+
+ private:
+  Partition MakeBidirectional(const Group& a, const Group& b, const std::string& kind);
+
+  PartitionBackend* backend_;
+  uint64_t next_partition_id_ = 1;
+};
+
+}  // namespace net
+
+#endif  // NET_PARTITION_H_

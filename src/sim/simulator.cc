@@ -1,0 +1,85 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sim {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  assert(delay >= 0 && "cannot schedule in the past");
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  const QueueKey key{when, next_seq_};
+  const EventId id = next_seq_;
+  ++next_seq_;
+  queue_.emplace(key, std::move(fn));
+  index_.emplace(id, key);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  queue_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void Simulator::RunOne() {
+  auto it = queue_.begin();
+  const QueueKey key = it->first;
+  std::function<void()> fn = std::move(it->second);
+  queue_.erase(it);
+  index_.erase(key.seq);
+  now_ = key.when;
+  ++events_executed_;
+  fn();
+}
+
+uint64_t Simulator::RunUntilIdle() {
+  uint64_t n = 0;
+  while (!queue_.empty()) {
+    RunOne();
+    ++n;
+  }
+  return n;
+}
+
+uint64_t Simulator::RunUntil(Time deadline) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.begin()->first.when <= deadline) {
+    RunOne();
+    ++n;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+uint64_t Simulator::RunFor(Duration delta) { return RunUntil(now_ + delta); }
+
+bool Simulator::RunUntilPredicate(const std::function<bool()>& pred, Time deadline) {
+  if (pred()) {
+    return true;
+  }
+  while (!queue_.empty() && queue_.begin()->first.when <= deadline) {
+    RunOne();
+    if (pred()) {
+      return true;
+    }
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return pred();
+}
+
+}  // namespace sim

@@ -1,0 +1,90 @@
+// The discrete-event simulation kernel.
+//
+// A Simulator owns a virtual clock and an event queue. Components schedule
+// closures to run at future virtual times; the run loop pops events in
+// (time, sequence) order, so execution is fully deterministic for a given
+// seed and schedule. Events can be cancelled, which is how crashed processes
+// retract their pending timers.
+
+#ifndef SIM_SIMULATOR_H_
+#define SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace sim {
+
+// Identifies a scheduled event so it can be cancelled. Ids are never reused.
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time Now() const { return now_; }
+  Rng& Rand() { return rng_; }
+  TraceLog& Trace() { return trace_; }
+
+  // Schedules `fn` to run `delay` microseconds from now. A zero delay runs
+  // the event on the next loop iteration, after already-queued events at the
+  // current time.
+  EventId Schedule(Duration delay, std::function<void()> fn);
+
+  // Schedules at an absolute virtual time, which must be >= Now().
+  EventId ScheduleAt(Time when, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue drains. Returns the number of events run.
+  uint64_t RunUntilIdle();
+
+  // Runs events with time <= deadline, then advances the clock to exactly
+  // `deadline` (even if the queue drained earlier). Returns events run.
+  uint64_t RunUntil(Time deadline);
+
+  // Convenience: RunUntil(Now() + delta).
+  uint64_t RunFor(Duration delta);
+
+  // Runs until `pred()` is true (checked after every event) or the queue
+  // drains or `deadline` passes. Returns true if the predicate fired.
+  bool RunUntilPredicate(const std::function<bool()>& pred, Time deadline);
+
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct QueueKey {
+    Time when;
+    uint64_t seq;
+    bool operator<(const QueueKey& other) const {
+      return when != other.when ? when < other.when : seq < other.seq;
+    }
+  };
+
+  // Pops and runs the earliest event. Requires a non-empty queue.
+  void RunOne();
+
+  Time now_ = kTimeZero;
+  uint64_t next_seq_ = 1;
+  uint64_t events_executed_ = 0;
+  std::map<QueueKey, std::function<void()>> queue_;
+  std::map<EventId, QueueKey> index_;
+  Rng rng_;
+  TraceLog trace_;
+};
+
+}  // namespace sim
+
+#endif  // SIM_SIMULATOR_H_

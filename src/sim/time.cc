@@ -1,0 +1,20 @@
+#include "sim/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace sim {
+
+std::string FormatTime(Time t) {
+  char buf[64];
+  if (t < 1000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "us", t);
+  } else if (t < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(t) / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(t) / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace sim

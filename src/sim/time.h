@@ -1,0 +1,33 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated components measure time in integral microseconds since the
+// start of the simulation. Using an integral representation keeps the
+// simulation bit-for-bit deterministic across platforms.
+
+#ifndef SIM_TIME_H_
+#define SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sim {
+
+// A point in virtual time, in microseconds since simulation start.
+using Time = int64_t;
+
+// A span of virtual time, in microseconds.
+using Duration = int64_t;
+
+constexpr Time kTimeZero = 0;
+constexpr Duration kNoTimeout = -1;
+
+constexpr Duration Microseconds(int64_t us) { return us; }
+constexpr Duration Milliseconds(int64_t ms) { return ms * 1000; }
+constexpr Duration Seconds(int64_t s) { return s * 1000 * 1000; }
+
+// Renders a time as "12.345ms" / "1.200s" for traces and logs.
+std::string FormatTime(Time t);
+
+}  // namespace sim
+
+#endif  // SIM_TIME_H_

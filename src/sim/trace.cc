@@ -1,0 +1,47 @@
+#include "sim/trace.h"
+
+#include <sstream>
+#include <utility>
+
+namespace sim {
+
+void TraceLog::Append(Time when, std::string component, std::string event, std::string detail) {
+  if (!enabled_) {
+    return;
+  }
+  records_.push_back(TraceRecord{when, std::move(component), std::move(event), std::move(detail)});
+}
+
+std::vector<TraceRecord> TraceLog::Filter(const std::string& prefix) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records_) {
+    if (r.component.rfind(prefix, 0) == 0) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+size_t TraceLog::CountEvent(const std::string& event) const {
+  size_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.event == event) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string TraceLog::Dump() const {
+  std::ostringstream os;
+  for (const TraceRecord& r : records_) {
+    os << FormatTime(r.when) << " [" << r.component << "] " << r.event;
+    if (!r.detail.empty()) {
+      os << ": " << r.detail;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sim

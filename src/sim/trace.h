@@ -1,0 +1,54 @@
+// A structured trace of simulation activity.
+//
+// Systems append trace records as they execute; tests and benches inspect
+// the trace to explain failures (the NEAT paper's future-work item of
+// "collecting detailed system traces of failures").
+
+#ifndef SIM_TRACE_H_
+#define SIM_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sim {
+
+struct TraceRecord {
+  Time when = kTimeZero;
+  std::string component;  // e.g. "net", "pbkv.n2", "neat"
+  std::string event;      // e.g. "drop", "elected", "step-down"
+  std::string detail;
+};
+
+class TraceLog {
+ public:
+  void Append(Time when, std::string component, std::string event, std::string detail = "");
+
+  // Returns records whose component starts with `prefix` (all if empty).
+  std::vector<TraceRecord> Filter(const std::string& prefix) const;
+
+  // Counts records with the given event name.
+  size_t CountEvent(const std::string& event) const;
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  // When enabled (default), records are retained; disabling turns Append
+  // into a counter-only operation for throughput benchmarks.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Renders the trace as one line per record, for debugging output.
+  std::string Dump() const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace sim
+
+#endif  // SIM_TRACE_H_

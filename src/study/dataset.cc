@@ -1,0 +1,253 @@
+// The 136 studied failures, transcribed from the paper's appendix:
+// Table 14 (88 issue-tracker failures + 16 Jepsen reports) and Table 15
+// (32 failures discovered by NEAT). References are the paper's citation
+// tags. The catastrophic flag follows the paper's rule ("violates the
+// system guarantees or leads to a system crash"; performance degradation
+// and single-node crashes are not catastrophic) and reproduces the
+// per-system catastrophic counts of Table 1 exactly.
+
+#include "study/failure.h"
+
+namespace study {
+namespace {
+
+using S = System;
+using I = Impact;
+using P = PartitionType;
+using T = Timing;
+
+FailureRecord R(System system, Source source, const char* reference, Impact impact,
+                PartitionType partition, Timing timing, bool catastrophic) {
+  FailureRecord record;
+  record.system = system;
+  record.source = source;
+  record.reference = reference;
+  record.impact = impact;
+  record.partition = partition;
+  record.timing = timing;
+  record.catastrophic = catastrophic;
+  return record;
+}
+
+constexpr Source kT = Source::kTicket;
+constexpr Source kJ = Source::kJepsen;
+constexpr Source kN = Source::kNeat;
+
+}  // namespace
+
+std::vector<FailureRecord> RawDataset() {
+  return {
+      // --- MongoDB (19; 11 catastrophic) ---
+      R(S::kMongoDb, kJ, "[120]", I::kDataLoss, P::kComplete, T::kFixed, true),
+      R(S::kMongoDb, kJ, "[65]", I::kDirtyRead, P::kComplete, T::kFixed, true),
+      R(S::kMongoDb, kJ, "[65]", I::kStaleRead, P::kComplete, T::kFixed, true),
+      R(S::kMongoDb, kT, "SERVER-9756", I::kDataLoss, P::kComplete, T::kFixed, true),
+      R(S::kMongoDb, kT, "SERVER-9730", I::kDataLoss, P::kPartial, T::kFixed, true),
+      R(S::kMongoDb, kT, "SERVER-9730", I::kStaleRead, P::kPartial, T::kFixed, true),
+      R(S::kMongoDb, kT, "SERVER-23003", I::kPerformanceDegradation, P::kPartial, T::kFixed,
+        false),
+      R(S::kMongoDb, kT, "SERVER-19550", I::kPerformanceDegradation, P::kPartial,
+        T::kDeterministic, false),
+      R(S::kMongoDb, kT, "SERVER-2544", I::kDataLoss, P::kPartial, T::kFixed, true),
+      R(S::kMongoDb, kT, "SERVER-2544", I::kStaleRead, P::kPartial, T::kFixed, true),
+      R(S::kMongoDb, kT, "SERVER-30797", I::kStaleRead, P::kComplete, T::kFixed, true),
+      R(S::kMongoDb, kT, "SERVER-27160", I::kDataLoss, P::kComplete, T::kUnknown, false),
+      R(S::kMongoDb, kT, "SERVER-27160", I::kStaleRead, P::kComplete, T::kUnknown, false),
+      R(S::kMongoDb, kT, "SERVER-27125", I::kPerformanceDegradation, P::kPartial,
+        T::kDeterministic, false),
+      R(S::kMongoDb, kT, "SERVER-26216", I::kDataLoss, P::kPartial, T::kDeterministic, true),
+      R(S::kMongoDb, kT, "SERVER-15254", I::kSystemCrashHang, P::kComplete, T::kBounded,
+        false),
+      R(S::kMongoDb, kT, "SERVER-7008", I::kPerformanceDegradation, P::kComplete,
+        T::kDeterministic, false),
+      R(S::kMongoDb, kT, "SERVER-8145", I::kDataLoss, P::kSimplex, T::kDeterministic, true),
+      R(S::kMongoDb, kT, "SERVER-14885", I::kSystemCrashHang, P::kComplete, T::kDeterministic,
+        false),
+      // --- VoltDB (4; 4) ---
+      R(S::kVoltDb, kT, "ENG-10486", I::kDataLoss, P::kComplete, T::kFixed, true),
+      R(S::kVoltDb, kT, "ENG-10453", I::kDataLoss, P::kComplete, T::kFixed, true),
+      R(S::kVoltDb, kT, "ENG-10389", I::kDirtyRead, P::kComplete, T::kFixed, true),
+      R(S::kVoltDb, kT, "ENG-10389", I::kStaleRead, P::kComplete, T::kFixed, true),
+      // --- RethinkDB (3; 3) ---
+      R(S::kRethinkDb, kT, "#5289", I::kDataLoss, P::kComplete, T::kBounded, true),
+      R(S::kRethinkDb, kT, "#5289", I::kDirtyRead, P::kComplete, T::kBounded, true),
+      R(S::kRethinkDb, kT, "#5289", I::kStaleRead, P::kComplete, T::kBounded, true),
+      // --- HBase (5; 3) ---
+      R(S::kHBase, kT, "HBASE-2312", I::kDataLoss, P::kPartial, T::kUnknown, true),
+      R(S::kHBase, kT, "HBASE-5606", I::kPerformanceDegradation, P::kPartial, T::kBounded,
+        false),
+      R(S::kHBase, kT, "HBASE-3446", I::kDataUnavailability, P::kPartial, T::kDeterministic,
+        true),
+      R(S::kHBase, kT, "HBASE-3403", I::kDataUnavailability, P::kComplete, T::kUnknown, true),
+      R(S::kHBase, kT, "HBASE-5063", I::kSystemCrashHang, P::kComplete, T::kDeterministic,
+        false),
+      // --- Riak (1; 1) ---
+      R(S::kRiak, kJ, "[67]", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      // --- Cassandra (4; 4) ---
+      R(S::kCassandra, kT, "CASSANDRA-150", I::kStaleRead, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kCassandra, kT, "CASSANDRA-150", I::kDataUnavailability, P::kComplete,
+        T::kDeterministic, true),
+      R(S::kCassandra, kT, "CASSANDRA-10143", I::kDataLoss, P::kComplete, T::kBounded, true),
+      R(S::kCassandra, kT, "CASSANDRA-13562", I::kSystemCrashHang, P::kComplete, T::kBounded,
+        true),
+      // --- Aerospike (3; 3) ---
+      R(S::kAerospike, kT, "[140]", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kAerospike, kT, "[140]", I::kStaleRead, P::kComplete, T::kDeterministic, true),
+      R(S::kAerospike, kT, "[140]", I::kReappearance, P::kComplete, T::kDeterministic, true),
+      // --- Geode (2; 2) ---
+      R(S::kGeode, kT, "GEODE-2718", I::kDataUnavailability, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kGeode, kT, "GEODE-3780", I::kStaleRead, P::kComplete, T::kUnknown, true),
+      // --- Redis (3; 2) ---
+      R(S::kRedis, kT, "#3899", I::kDataCorruption, P::kComplete, T::kBounded, true),
+      R(S::kRedis, kT, "#3138", I::kSystemCrashHang, P::kComplete, T::kDeterministic, false),
+      R(S::kRedis, kJ, "[144]", I::kDataLoss, P::kComplete, T::kFixed, true),
+      // --- Hazelcast (7; 5) ---
+      R(S::kHazelcast, kT, "#5529", I::kDataLoss, P::kComplete, T::kFixed, true),
+      R(S::kHazelcast, kT, "[81]", I::kDataLoss, P::kComplete, T::kBounded, true),
+      R(S::kHazelcast, kT, "#5444", I::kDataLoss, P::kComplete, T::kBounded, true),
+      R(S::kHazelcast, kT, "#8156", I::kPerformanceDegradation, P::kComplete, T::kBounded,
+        false),
+      R(S::kHazelcast, kT, "#8827", I::kPerformanceDegradation, P::kComplete,
+        T::kDeterministic, false),
+      R(S::kHazelcast, kJ, "[118]", I::kDataLoss, P::kComplete, T::kFixed, true),
+      R(S::kHazelcast, kJ, "[118]", I::kBrokenLocks, P::kComplete, T::kFixed, true),
+      // --- ZooKeeper (3; 3) ---
+      R(S::kZooKeeper, kT, "ZOOKEEPER-2355", I::kReappearance, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kZooKeeper, kT, "ZOOKEEPER-2348", I::kReappearance, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kZooKeeper, kT, "ZOOKEEPER-2099", I::kDataCorruption, P::kComplete,
+        T::kDeterministic, true),
+      // --- Elasticsearch (22; 21) ---
+      R(S::kElasticsearch, kT, "#20031", I::kStaleRead, P::kComplete, T::kFixed, true),
+      R(S::kElasticsearch, kT, "#20031", I::kDataLoss, P::kComplete, T::kFixed, true),
+      R(S::kElasticsearch, kT, "#19269", I::kDirtyRead, P::kComplete, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#14671", I::kStaleRead, P::kComplete, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#14671", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#7572", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#9495", I::kStaleRead, P::kPartial, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#9495", I::kDataLoss, P::kPartial, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#6469", I::kStaleRead, P::kPartial, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#6469", I::kDataLoss, P::kPartial, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#2488", I::kStaleRead, P::kPartial, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#2488", I::kDataLoss, P::kPartial, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#9967", I::kDataCorruption, P::kComplete, T::kBounded, true),
+      R(S::kElasticsearch, kT, "#14252", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#12573", I::kPerformanceDegradation, P::kComplete, T::kBounded,
+        false),
+      R(S::kElasticsearch, kT, "#28405", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kElasticsearch, kT, "#14739", I::kDataLoss, P::kPartial, T::kDeterministic, true),
+      R(S::kElasticsearch, kJ, "[161]", I::kStaleRead, P::kPartial, T::kDeterministic, true),
+      R(S::kElasticsearch, kJ, "[161]", I::kDataLoss, P::kPartial, T::kDeterministic, true),
+      R(S::kElasticsearch, kJ, "[161]", I::kStaleRead, P::kComplete, T::kBounded, true),
+      R(S::kElasticsearch, kJ, "[161]", I::kDataLoss, P::kComplete, T::kBounded, true),
+      R(S::kElasticsearch, kJ, "[161]", I::kDirtyRead, P::kComplete, T::kFixed, true),
+      // --- HDFS (4; 2) ---
+      R(S::kHdfs, kT, "HDFS-2791", I::kDataCorruption, P::kPartial, T::kDeterministic, true),
+      R(S::kHdfs, kT, "HDFS-5014", I::kPerformanceDegradation, P::kPartial, T::kDeterministic,
+        false),
+      R(S::kHdfs, kT, "HDFS-577", I::kPerformanceDegradation, P::kSimplex, T::kBounded, false),
+      R(S::kHdfs, kT, "HDFS-1384", I::kPerformanceDegradation, P::kPartial, T::kDeterministic,
+        true),
+      // --- Kafka (5; 3) ---
+      R(S::kKafka, kT, "KAFKA-2553", I::kSystemCrashHang, P::kComplete, T::kDeterministic,
+        false),
+      R(S::kKafka, kT, "KAFKA-6173", I::kDataUnavailability, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kKafka, kT, "KAFKA-6173b", I::kPerformanceDegradation, P::kComplete,
+        T::kDeterministic, false),
+      R(S::kKafka, kT, "KAFKA-3686", I::kSystemCrashHang, P::kPartial, T::kDeterministic,
+        true),
+      R(S::kKafka, kT, "KAFKA-1211", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      // --- RabbitMQ (7; 4) ---
+      R(S::kRabbitMq, kT, "#1455", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kRabbitMq, kT, "#1006", I::kPerformanceDegradation, P::kPartial, T::kDeterministic,
+        false),
+      R(S::kRabbitMq, kT, "#887", I::kPerformanceDegradation, P::kComplete, T::kDeterministic,
+        false),
+      R(S::kRabbitMq, kT, "#714", I::kSystemCrashHang, P::kPartial, T::kDeterministic, true),
+      R(S::kRabbitMq, kT, "#1003", I::kPerformanceDegradation, P::kPartial, T::kDeterministic,
+        false),
+      R(S::kRabbitMq, kJ, "[173]", I::kBrokenLocks, P::kComplete, T::kDeterministic, true),
+      R(S::kRabbitMq, kJ, "[173]", I::kReappearance, P::kComplete, T::kDeterministic, true),
+      // --- MapReduce (6; 2) ---
+      R(S::kMapReduce, kT, "MAPREDUCE-1800", I::kPerformanceDegradation, P::kPartial,
+        T::kDeterministic, false),
+      R(S::kMapReduce, kT, "MAPREDUCE-3272", I::kPerformanceDegradation, P::kComplete,
+        T::kDeterministic, false),
+      R(S::kMapReduce, kT, "MAPREDUCE-3963", I::kPerformanceDegradation, P::kPartial,
+        T::kDeterministic, false),
+      R(S::kMapReduce, kT, "MAPREDUCE-4832", I::kDataCorruption, P::kPartial,
+        T::kDeterministic, true),
+      R(S::kMapReduce, kT, "MAPREDUCE-4819", I::kDataCorruption, P::kPartial,
+        T::kDeterministic, true),
+      R(S::kMapReduce, kT, "MAPREDUCE-4833", I::kPerformanceDegradation, P::kComplete,
+        T::kBounded, false),
+      // --- Chronos (2; 1) ---
+      R(S::kChronos, kJ, "[179]", I::kPerformanceDegradation, P::kComplete, T::kDeterministic,
+        false),
+      R(S::kChronos, kJ, "[179]", I::kSystemCrashHang, P::kComplete, T::kDeterministic, true),
+      // --- Mesos (4; 0) ---
+      R(S::kMesos, kT, "MESOS-1529", I::kPerformanceDegradation, P::kPartial,
+        T::kDeterministic, false),
+      R(S::kMesos, kT, "MESOS-284", I::kPerformanceDegradation, P::kPartial, T::kDeterministic,
+        false),
+      R(S::kMesos, kT, "MESOS-6419", I::kPerformanceDegradation, P::kComplete,
+        T::kDeterministic, false),
+      R(S::kMesos, kT, "MESOS-5181", I::kPerformanceDegradation, P::kSimplex,
+        T::kDeterministic, false),
+
+      // --- Table 15: failures discovered by NEAT (32; 30 catastrophic) ---
+      R(S::kCeph, kN, "ceph-24193", I::kDataLoss, P::kPartial, T::kBounded, true),
+      R(S::kCeph, kN, "ceph-24193", I::kDataCorruption, P::kPartial, T::kBounded, true),
+      R(S::kActiveMq, kN, "AMQ-7064", I::kSystemCrashHang, P::kPartial, T::kDeterministic,
+        true),
+      R(S::kActiveMq, kN, "AMQ-6978", I::kOther, P::kComplete, T::kFixed, true),
+      R(S::kTerracotta, kN, "tc-907", I::kStaleRead, P::kComplete, T::kFixed, true),
+      R(S::kTerracotta, kN, "tc-904", I::kBrokenLocks, P::kComplete, T::kFixed, true),
+      R(S::kTerracotta, kN, "tc-908", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kTerracotta, kN, "tc-905a", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kTerracotta, kN, "tc-905b", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kTerracotta, kN, "tc-905c", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kTerracotta, kN, "tc-906a", I::kReappearance, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kTerracotta, kN, "tc-906b", I::kReappearance, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kTerracotta, kN, "tc-906c", I::kReappearance, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kIgnite, kN, "IGNITE-9762a", I::kStaleRead, P::kComplete, T::kFixed, true),
+      R(S::kIgnite, kN, "IGNITE-9765a", I::kDataUnavailability, P::kComplete,
+        T::kDeterministic, true),
+      R(S::kIgnite, kN, "IGNITE-9762b", I::kDataUnavailability, P::kComplete,
+        T::kFixed, true),
+      R(S::kIgnite, kN, "IGNITE-9765b", I::kOther, P::kComplete, T::kDeterministic, true),
+      R(S::kIgnite, kN, "IGNITE-9766", I::kDataUnavailability, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kIgnite, kN, "IGNITE-9768a", I::kBrokenLocks, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kIgnite, kN, "IGNITE-9768b", I::kBrokenLocks, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kIgnite, kN, "IGNITE-9768c", I::kBrokenLocks, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kIgnite, kN, "IGNITE-9768d", I::kBrokenLocks, P::kComplete, T::kDeterministic,
+        true),
+      R(S::kIgnite, kN, "IGNITE-9768e", I::kDataLoss, P::kComplete, T::kDeterministic, true),
+      R(S::kIgnite, kN, "IGNITE-9767", I::kBrokenLocks, P::kComplete, T::kFixed, true),
+      R(S::kIgnite, kN, "IGNITE-8882", I::kBrokenLocks, P::kComplete, T::kDeterministic, true),
+      R(S::kIgnite, kN, "IGNITE-8883", I::kBrokenLocks, P::kComplete, T::kDeterministic, true),
+      R(S::kIgnite, kN, "IGNITE-8881", I::kSystemCrashHang, P::kComplete, T::kDeterministic,
+        false),
+      R(S::kIgnite, kN, "IGNITE-8593", I::kDataCorruption, P::kComplete, T::kDeterministic,
+        false),
+      R(S::kInfinispan, kN, "ISPN-9304", I::kDirtyRead, P::kComplete, T::kDeterministic, true),
+      R(S::kDkron, kN, "dkron-379", I::kDataCorruption, P::kPartial, T::kDeterministic, true),
+      R(S::kMooseFs, kN, "moosefs-131", I::kDataUnavailability, P::kPartial, T::kDeterministic,
+        true),
+      R(S::kMooseFs, kN, "moosefs-132", I::kSystemCrashHang, P::kPartial, T::kFixed,
+        true),
+  };
+}
+
+}  // namespace study

@@ -1,0 +1,74 @@
+#include "study/export.h"
+
+#include <sstream>
+
+namespace study {
+namespace {
+
+std::string Quote(const std::string& field) {
+  if (field.find(',') == std::string::npos && field.find('"') == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string JoinMechanisms(const FailureRecord& r) {
+  std::string out;
+  for (size_t i = 0; i < r.mechanisms.size(); ++i) {
+    if (i > 0) {
+      out += "; ";
+    }
+    out += MechanismName(r.mechanisms[i]);
+  }
+  return out;
+}
+
+std::string JoinEvents(const FailureRecord& r) {
+  std::string out;
+  for (size_t i = 0; i < r.events.size(); ++i) {
+    if (i > 0) {
+      out += "; ";
+    }
+    out += EventTypeName(r.events[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteCsv(const std::vector<FailureRecord>& records, std::ostream& out) {
+  out << "system,consistency,source,reference,impact,catastrophic,partition_type,timing,"
+         "mechanisms,election_flaw,client_access,min_events,events,ordering,isolation,"
+         "resolution,resolution_days,nodes_to_reproduce,silent,lasting_damage,"
+         "needs_two_partitions\n";
+  for (const FailureRecord& r : records) {
+    out << SystemName(r.system) << ',' << ConsistencyName(SystemConsistency(r.system)) << ','
+        << SourceName(r.source) << ',' << Quote(r.reference) << ','
+        << Quote(ImpactName(r.impact)) << ',' << (r.catastrophic ? "yes" : "no") << ','
+        << Quote(PartitionTypeName(r.partition)) << ',' << TimingName(r.timing) << ','
+        << Quote(JoinMechanisms(r)) << ',' << Quote(ElectionFlawName(r.election_flaw)) << ','
+        << Quote(ClientAccessName(r.client_access)) << ','
+        << (r.min_events >= 5 ? std::string(">4") : std::to_string(r.min_events)) << ','
+        << Quote(JoinEvents(r)) << ',' << Quote(OrderingName(r.ordering)) << ','
+        << Quote(IsolationName(r.isolation)) << ',' << ResolutionName(r.resolution) << ','
+        << r.resolution_days << ',' << r.nodes_to_reproduce << ','
+        << (r.silent ? "yes" : "no") << ',' << (r.lasting_damage ? "yes" : "no") << ','
+        << (r.needs_two_partitions ? "yes" : "no") << '\n';
+  }
+}
+
+std::string DatasetCsv() {
+  std::ostringstream os;
+  WriteCsv(Dataset(), os);
+  return os.str();
+}
+
+}  // namespace study

@@ -1,0 +1,24 @@
+// CSV export of the failure dataset — the equivalent of the data set the
+// authors published alongside the paper (dsl.uwaterloo.ca/projects/neat).
+
+#ifndef STUDY_EXPORT_H_
+#define STUDY_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "study/failure.h"
+
+namespace study {
+
+// Writes one header row plus one row per failure with every field,
+// completed dimensions included. Fields containing commas are quoted.
+void WriteCsv(const std::vector<FailureRecord>& records, std::ostream& out);
+
+// Convenience: the whole completed dataset as a CSV string.
+std::string DatasetCsv();
+
+}  // namespace study
+
+#endif  // STUDY_EXPORT_H_

@@ -1,0 +1,191 @@
+// The failure-study data model.
+//
+// Each of the 136 studied failures is one FailureRecord. The fields the
+// paper publishes per row (Tables 1, 14, 15: system, source, reference,
+// impact, partition type, timing constraint, catastrophic flag) are encoded
+// verbatim in dataset.cc. The classification dimensions the paper publishes
+// only as aggregates (mechanism, client access, event counts, ordering,
+// isolation target, resolution, nodes needed, silence, lasting damage) are
+// filled in by the deterministic constrained completion in complete.cc,
+// which reproduces the published marginals — see DESIGN.md for the
+// substitution rationale.
+
+#ifndef STUDY_FAILURE_H_
+#define STUDY_FAILURE_H_
+
+#include <string>
+#include <vector>
+
+namespace study {
+
+enum class System {
+  kMongoDb,
+  kVoltDb,
+  kRethinkDb,
+  kHBase,
+  kRiak,
+  kCassandra,
+  kAerospike,
+  kGeode,
+  kRedis,
+  kHazelcast,
+  kElasticsearch,
+  kZooKeeper,
+  kHdfs,
+  kKafka,
+  kRabbitMq,
+  kMapReduce,
+  kChronos,
+  kMesos,
+  kInfinispan,
+  kIgnite,
+  kTerracotta,
+  kCeph,
+  kMooseFs,
+  kActiveMq,
+  kDkron,
+};
+constexpr int kNumSystems = 25;
+
+enum class ConsistencyModel {
+  kStrong,
+  kEventual,
+  kStrongOrEventual,
+  kBestEffort,
+  kCustom,
+  kUnspecified,
+};
+
+enum class Source { kTicket, kJepsen, kNeat };
+
+// Table 2 vocabulary.
+enum class Impact {
+  kDataLoss,
+  kStaleRead,
+  kBrokenLocks,
+  kSystemCrashHang,
+  kDataUnavailability,
+  kReappearance,
+  kDataCorruption,
+  kDirtyRead,
+  kPerformanceDegradation,
+  kOther,
+};
+
+enum class PartitionType { kComplete, kPartial, kSimplex };
+
+// The appendix's timing-constraint column, mapping onto Table 11:
+//   kDeterministic -> "no timing constraints"
+//   kFixed         -> "known" (hard-coded or configurable timeouts)
+//   kBounded       -> "unknown - but still can be tested"
+//   kUnknown       -> "nondeterministic"
+enum class Timing { kDeterministic, kFixed, kBounded, kUnknown };
+
+// Table 3 vocabulary.
+enum class Mechanism {
+  kLeaderElection,
+  kConfigurationChange,
+  kDataConsolidation,
+  kRequestRouting,
+  kReplicationProtocol,
+  kReconfiguration,
+  kScheduling,
+  kDataMigration,
+  kSystemIntegration,
+};
+
+// Table 4 vocabulary (only meaningful for leader-election failures).
+enum class ElectionFlaw {
+  kNone,
+  kOverlappingLeaders,
+  kElectingBadLeader,
+  kVotingForTwoCandidates,
+  kConflictingCriteria,
+};
+
+// Table 5 vocabulary.
+enum class ClientAccess { kNone, kOneSide, kBothSides };
+
+// Table 8 vocabulary (events that appear in the manifestation sequence).
+enum class EventType {
+  kWrite,
+  kRead,
+  kAcquireLock,
+  kAdminNodeChange,
+  kDelete,
+  kReleaseLock,
+  kClusterReboot,
+};
+
+// Table 9 vocabulary.
+enum class Ordering {
+  kPartitionNotFirst,
+  kPartitionFirstOrderUnimportant,
+  kPartitionFirstNaturalOrder,
+  kPartitionFirstOther,
+};
+
+// Table 10 vocabulary.
+enum class Isolation {
+  kAnyReplica,
+  kLeader,
+  kCentralService,
+  kSpecialRole,
+  kOther,
+};
+
+// Table 12 vocabulary.
+enum class Resolution { kDesign, kImplementation, kUnresolved };
+
+struct FailureRecord {
+  // --- encoded verbatim from the paper ---
+  System system = System::kMongoDb;
+  Source source = Source::kTicket;
+  std::string reference;  // the paper's citation tag, e.g. "[65]" or "SERVER-9756"
+  Impact impact = Impact::kDataLoss;
+  PartitionType partition = PartitionType::kComplete;
+  Timing timing = Timing::kDeterministic;
+  bool catastrophic = true;
+
+  // --- filled by the constrained completion ---
+  std::vector<Mechanism> mechanisms;
+  ElectionFlaw election_flaw = ElectionFlaw::kNone;
+  ClientAccess client_access = ClientAccess::kOneSide;
+  int min_events = 3;  // 1..4, or 5 meaning "> 4" (Table 7 buckets)
+  std::vector<EventType> events;
+  Ordering ordering = Ordering::kPartitionFirstOther;
+  Isolation isolation = Isolation::kAnyReplica;
+  Resolution resolution = Resolution::kDesign;
+  int resolution_days = 0;  // 0 when unresolved
+  int nodes_to_reproduce = 3;
+  bool silent = true;
+  bool lasting_damage = false;
+  bool needs_two_partitions = false;
+};
+
+// --- name helpers (for table rendering) ---
+const char* SystemName(System system);
+ConsistencyModel SystemConsistency(System system);
+const char* ConsistencyName(ConsistencyModel model);
+const char* ImpactName(Impact impact);
+const char* PartitionTypeName(PartitionType type);
+const char* MechanismName(Mechanism mechanism);
+const char* ElectionFlawName(ElectionFlaw flaw);
+const char* ClientAccessName(ClientAccess access);
+const char* EventTypeName(EventType type);
+const char* OrderingName(Ordering ordering);
+const char* IsolationName(Isolation isolation);
+const char* ResolutionName(Resolution resolution);
+const char* TimingName(Timing timing);
+const char* SourceName(Source source);
+
+// The 136 studied failures with the verbatim fields populated.
+std::vector<FailureRecord> RawDataset();
+
+// RawDataset() plus the deterministic constrained completion of the
+// aggregate-only fields.
+std::vector<FailureRecord> Dataset();
+
+}  // namespace study
+
+#endif  // STUDY_FAILURE_H_

@@ -1,0 +1,294 @@
+#include "study/failure.h"
+
+namespace study {
+
+const char* SystemName(System system) {
+  switch (system) {
+    case System::kMongoDb:
+      return "MongoDB";
+    case System::kVoltDb:
+      return "VoltDB";
+    case System::kRethinkDb:
+      return "RethinkDB";
+    case System::kHBase:
+      return "HBase";
+    case System::kRiak:
+      return "Riak";
+    case System::kCassandra:
+      return "Cassandra";
+    case System::kAerospike:
+      return "Aerospike";
+    case System::kGeode:
+      return "Geode";
+    case System::kRedis:
+      return "Redis";
+    case System::kHazelcast:
+      return "Hazelcast";
+    case System::kElasticsearch:
+      return "Elasticsearch";
+    case System::kZooKeeper:
+      return "ZooKeeper";
+    case System::kHdfs:
+      return "HDFS";
+    case System::kKafka:
+      return "Kafka";
+    case System::kRabbitMq:
+      return "RabbitMQ";
+    case System::kMapReduce:
+      return "MapReduce";
+    case System::kChronos:
+      return "Chronos";
+    case System::kMesos:
+      return "Mesos";
+    case System::kInfinispan:
+      return "Infinispan";
+    case System::kIgnite:
+      return "Ignite";
+    case System::kTerracotta:
+      return "Terracotta";
+    case System::kCeph:
+      return "Ceph";
+    case System::kMooseFs:
+      return "MooseFS";
+    case System::kActiveMq:
+      return "ActiveMQ";
+    case System::kDkron:
+      return "DKron";
+  }
+  return "?";
+}
+
+ConsistencyModel SystemConsistency(System system) {
+  switch (system) {
+    case System::kMongoDb:
+    case System::kVoltDb:
+    case System::kRethinkDb:
+    case System::kHBase:
+    case System::kCassandra:
+    case System::kGeode:
+    case System::kZooKeeper:
+    case System::kInfinispan:
+    case System::kIgnite:
+    case System::kTerracotta:
+    case System::kCeph:
+      return ConsistencyModel::kStrong;
+    case System::kRiak:
+      return ConsistencyModel::kStrongOrEventual;
+    case System::kAerospike:
+    case System::kRedis:
+    case System::kElasticsearch:
+    case System::kMooseFs:
+      return ConsistencyModel::kEventual;
+    case System::kHazelcast:
+      return ConsistencyModel::kBestEffort;
+    case System::kHdfs:
+      return ConsistencyModel::kCustom;
+    case System::kKafka:
+    case System::kRabbitMq:
+    case System::kMapReduce:
+    case System::kChronos:
+    case System::kMesos:
+    case System::kActiveMq:
+    case System::kDkron:
+      return ConsistencyModel::kUnspecified;
+  }
+  return ConsistencyModel::kUnspecified;
+}
+
+const char* ConsistencyName(ConsistencyModel model) {
+  switch (model) {
+    case ConsistencyModel::kStrong:
+      return "Strong";
+    case ConsistencyModel::kEventual:
+      return "Eventual";
+    case ConsistencyModel::kStrongOrEventual:
+      return "Strong/Eventual";
+    case ConsistencyModel::kBestEffort:
+      return "Best Effort";
+    case ConsistencyModel::kCustom:
+      return "Custom";
+    case ConsistencyModel::kUnspecified:
+      return "-";
+  }
+  return "-";
+}
+
+const char* ImpactName(Impact impact) {
+  switch (impact) {
+    case Impact::kDataLoss:
+      return "Data loss";
+    case Impact::kStaleRead:
+      return "Stale read";
+    case Impact::kBrokenLocks:
+      return "Broken locks";
+    case Impact::kSystemCrashHang:
+      return "System crash/hang";
+    case Impact::kDataUnavailability:
+      return "Data unavailability";
+    case Impact::kReappearance:
+      return "Reappearance of deleted data";
+    case Impact::kDataCorruption:
+      return "Data corruption";
+    case Impact::kDirtyRead:
+      return "Dirty read";
+    case Impact::kPerformanceDegradation:
+      return "Performance degradation";
+    case Impact::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+const char* PartitionTypeName(PartitionType type) {
+  switch (type) {
+    case PartitionType::kComplete:
+      return "Complete partition";
+    case PartitionType::kPartial:
+      return "Partial partition";
+    case PartitionType::kSimplex:
+      return "Simplex partition";
+  }
+  return "?";
+}
+
+const char* MechanismName(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kLeaderElection:
+      return "Leader election";
+    case Mechanism::kConfigurationChange:
+      return "Configuration change";
+    case Mechanism::kDataConsolidation:
+      return "Data consolidation";
+    case Mechanism::kRequestRouting:
+      return "Request routing";
+    case Mechanism::kReplicationProtocol:
+      return "Replication protocol";
+    case Mechanism::kReconfiguration:
+      return "Reconfiguration due to a network partition";
+    case Mechanism::kScheduling:
+      return "Scheduling";
+    case Mechanism::kDataMigration:
+      return "Data migration";
+    case Mechanism::kSystemIntegration:
+      return "System integration";
+  }
+  return "?";
+}
+
+const char* ElectionFlawName(ElectionFlaw flaw) {
+  switch (flaw) {
+    case ElectionFlaw::kNone:
+      return "-";
+    case ElectionFlaw::kOverlappingLeaders:
+      return "Overlapping between successive leaders";
+    case ElectionFlaw::kElectingBadLeader:
+      return "Electing bad leaders";
+    case ElectionFlaw::kVotingForTwoCandidates:
+      return "Voting for two candidates";
+    case ElectionFlaw::kConflictingCriteria:
+      return "Conflicting election criteria";
+  }
+  return "?";
+}
+
+const char* ClientAccessName(ClientAccess access) {
+  switch (access) {
+    case ClientAccess::kNone:
+      return "No client access necessary";
+    case ClientAccess::kOneSide:
+      return "Client access to one side only";
+    case ClientAccess::kBothSides:
+      return "Client access to both sides";
+  }
+  return "?";
+}
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kWrite:
+      return "Write request";
+    case EventType::kRead:
+      return "Read request";
+    case EventType::kAcquireLock:
+      return "Acquire lock";
+    case EventType::kAdminNodeChange:
+      return "Admin adding/removing a node";
+    case EventType::kDelete:
+      return "Delete request";
+    case EventType::kReleaseLock:
+      return "Release lock";
+    case EventType::kClusterReboot:
+      return "Whole cluster reboot";
+  }
+  return "?";
+}
+
+const char* OrderingName(Ordering ordering) {
+  switch (ordering) {
+    case Ordering::kPartitionNotFirst:
+      return "Network partition does not come first";
+    case Ordering::kPartitionFirstOrderUnimportant:
+      return "Partition first, order is not important";
+    case Ordering::kPartitionFirstNaturalOrder:
+      return "Partition first, natural order";
+    case Ordering::kPartitionFirstOther:
+      return "Partition first, other";
+  }
+  return "?";
+}
+
+const char* IsolationName(Isolation isolation) {
+  switch (isolation) {
+    case Isolation::kAnyReplica:
+      return "Partition any replica";
+    case Isolation::kLeader:
+      return "Partition the leader";
+    case Isolation::kCentralService:
+      return "Partition a central service";
+    case Isolation::kSpecialRole:
+      return "Partition a node with a special role";
+    case Isolation::kOther:
+      return "Other (e.g., new node, source of data migration)";
+  }
+  return "?";
+}
+
+const char* ResolutionName(Resolution resolution) {
+  switch (resolution) {
+    case Resolution::kDesign:
+      return "Design";
+    case Resolution::kImplementation:
+      return "Implementation";
+    case Resolution::kUnresolved:
+      return "Unresolved";
+  }
+  return "?";
+}
+
+const char* TimingName(Timing timing) {
+  switch (timing) {
+    case Timing::kDeterministic:
+      return "Deterministic";
+    case Timing::kFixed:
+      return "Fixed";
+    case Timing::kBounded:
+      return "Bounded";
+    case Timing::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+const char* SourceName(Source source) {
+  switch (source) {
+    case Source::kTicket:
+      return "issue tracker";
+    case Source::kJepsen:
+      return "Jepsen";
+    case Source::kNeat:
+      return "NEAT";
+  }
+  return "?";
+}
+
+}  // namespace study

@@ -1,0 +1,420 @@
+#include "study/tables.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace study {
+namespace {
+
+double Percent(int count, int denominator) {
+  return denominator == 0 ? 0.0 : 100.0 * count / denominator;
+}
+
+TableRow Row(std::string label, int count, int denominator, double paper_percent) {
+  return TableRow{std::move(label), count, Percent(count, denominator), paper_percent};
+}
+
+}  // namespace
+
+std::string FormatTable(const Table& table) {
+  std::ostringstream os;
+  os << table.title << " (n=" << table.denominator << ")\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-52s %8s %10s %10s\n", "", "count", "measured",
+                "paper");
+  os << buf;
+  for (const TableRow& row : table.rows) {
+    std::snprintf(buf, sizeof(buf), "  %-52s %8d %9.1f%% %9.1f%%\n", row.label.c_str(),
+                  row.count, row.percent, row.paper_percent);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::vector<SystemSummary> ComputeTable1(const std::vector<FailureRecord>& records) {
+  std::vector<SystemSummary> rows;
+  for (int i = 0; i < kNumSystems; ++i) {
+    const System system = static_cast<System>(i);
+    SystemSummary summary;
+    summary.system = system;
+    summary.consistency = ConsistencyName(SystemConsistency(system));
+    for (const FailureRecord& r : records) {
+      if (r.system == system) {
+        ++summary.total;
+        if (r.catastrophic) {
+          ++summary.catastrophic;
+        }
+      }
+    }
+    rows.push_back(summary);
+  }
+  return rows;
+}
+
+std::string FormatTable1(const std::vector<SystemSummary>& rows) {
+  std::ostringstream os;
+  os << "Table 1. List of studied systems\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-15s %-17s %8s %14s\n", "System", "Consistency",
+                "Failures", "Catastrophic");
+  os << buf;
+  int total = 0;
+  int catastrophic = 0;
+  for (const SystemSummary& row : rows) {
+    std::snprintf(buf, sizeof(buf), "  %-15s %-17s %8d %14d\n", SystemName(row.system),
+                  row.consistency, row.total, row.catastrophic);
+    os << buf;
+    total += row.total;
+    catastrophic += row.catastrophic;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-15s %-17s %8d %14d\n", "Total", "-", total,
+                catastrophic);
+  os << buf;
+  return os.str();
+}
+
+Table ComputeTable2Impact(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  auto count = [&records](Impact impact) {
+    int c = 0;
+    for (const FailureRecord& r : records) {
+      if (r.impact == impact) {
+        ++c;
+      }
+    }
+    return c;
+  };
+  Table table;
+  table.title = "Table 2. The impacts of the failures";
+  table.denominator = n;
+  const std::vector<std::pair<Impact, double>> paper = {
+      {Impact::kDataLoss, 26.6},        {Impact::kStaleRead, 13.2},
+      {Impact::kBrokenLocks, 8.2},      {Impact::kSystemCrashHang, 8.1},
+      {Impact::kDataUnavailability, 6.6}, {Impact::kReappearance, 6.6},
+      {Impact::kDataCorruption, 5.1},   {Impact::kDirtyRead, 5.1},
+      {Impact::kPerformanceDegradation, 19.1}, {Impact::kOther, 1.4},
+  };
+  for (const auto& [impact, paper_percent] : paper) {
+    table.rows.push_back(Row(ImpactName(impact), count(impact), n, paper_percent));
+  }
+  return table;
+}
+
+Table ComputeTable3Mechanisms(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  auto count = [&records](Mechanism mechanism) {
+    int c = 0;
+    for (const FailureRecord& r : records) {
+      for (Mechanism m : r.mechanisms) {
+        if (m == mechanism) {
+          ++c;
+          break;
+        }
+      }
+    }
+    return c;
+  };
+  Table table;
+  table.title = "Table 3. Failures involving each system mechanism";
+  table.denominator = n;
+  const std::vector<std::pair<Mechanism, double>> paper = {
+      {Mechanism::kLeaderElection, 39.7},     {Mechanism::kConfigurationChange, 19.9},
+      {Mechanism::kDataConsolidation, 14.0},  {Mechanism::kRequestRouting, 13.2},
+      {Mechanism::kReplicationProtocol, 12.5}, {Mechanism::kReconfiguration, 11.8},
+      {Mechanism::kScheduling, 2.9},          {Mechanism::kDataMigration, 3.7},
+      {Mechanism::kSystemIntegration, 1.5},
+  };
+  for (const auto& [mechanism, paper_percent] : paper) {
+    table.rows.push_back(Row(MechanismName(mechanism), count(mechanism), n, paper_percent));
+  }
+  return table;
+}
+
+Table ComputeTable4ElectionFlaws(const std::vector<FailureRecord>& records) {
+  int n = 0;
+  std::map<ElectionFlaw, int> counts;
+  for (const FailureRecord& r : records) {
+    if (!r.mechanisms.empty() && r.mechanisms.front() == Mechanism::kLeaderElection) {
+      ++n;
+      ++counts[r.election_flaw];
+    }
+  }
+  Table table;
+  table.title = "Table 4. Leader election flaws";
+  table.denominator = n;
+  const std::vector<std::pair<ElectionFlaw, double>> paper = {
+      {ElectionFlaw::kOverlappingLeaders, 57.4},
+      {ElectionFlaw::kElectingBadLeader, 20.4},
+      {ElectionFlaw::kVotingForTwoCandidates, 18.5},
+      {ElectionFlaw::kConflictingCriteria, 3.7},
+  };
+  for (const auto& [flaw, paper_percent] : paper) {
+    table.rows.push_back(Row(ElectionFlawName(flaw), counts[flaw], n, paper_percent));
+  }
+  return table;
+}
+
+Table ComputeTable5ClientAccess(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  std::map<ClientAccess, int> counts;
+  for (const FailureRecord& r : records) {
+    ++counts[r.client_access];
+  }
+  Table table;
+  table.title = "Table 5. Client access during the network partition";
+  table.denominator = n;
+  table.rows.push_back(Row(ClientAccessName(ClientAccess::kNone),
+                           counts[ClientAccess::kNone], n, 28.0));
+  table.rows.push_back(Row(ClientAccessName(ClientAccess::kOneSide),
+                           counts[ClientAccess::kOneSide], n, 36.0));
+  table.rows.push_back(Row(ClientAccessName(ClientAccess::kBothSides),
+                           counts[ClientAccess::kBothSides], n, 36.0));
+  return table;
+}
+
+Table ComputeTable6PartitionTypes(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  std::map<PartitionType, int> counts;
+  for (const FailureRecord& r : records) {
+    ++counts[r.partition];
+  }
+  Table table;
+  table.title = "Table 6. Failures caused by each type of network-partitioning fault";
+  table.denominator = n;
+  table.rows.push_back(Row(PartitionTypeName(PartitionType::kComplete),
+                           counts[PartitionType::kComplete], n, 69.1));
+  table.rows.push_back(Row(PartitionTypeName(PartitionType::kPartial),
+                           counts[PartitionType::kPartial], n, 28.7));
+  table.rows.push_back(Row(PartitionTypeName(PartitionType::kSimplex),
+                           counts[PartitionType::kSimplex], n, 2.2));
+  return table;
+}
+
+Table ComputeTable7EventCounts(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  std::map<int, int> counts;
+  for (const FailureRecord& r : records) {
+    ++counts[r.min_events];
+  }
+  Table table;
+  table.title = "Table 7. Minimum number of events required to cause a failure";
+  table.denominator = n;
+  table.rows.push_back(Row("1 (just a network partition)", counts[1], n, 12.6));
+  table.rows.push_back(Row("2", counts[2], n, 13.9));
+  table.rows.push_back(Row("3", counts[3], n, 42.6));
+  table.rows.push_back(Row("4", counts[4], n, 14.0));
+  table.rows.push_back(Row("> 4", counts[5], n, 16.9));
+  return table;
+}
+
+Table ComputeTable8EventTypes(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  auto count = [&records](EventType type) {
+    int c = 0;
+    for (const FailureRecord& r : records) {
+      for (EventType e : r.events) {
+        if (e == type) {
+          ++c;
+          break;
+        }
+      }
+    }
+    return c;
+  };
+  int only_partition = 0;
+  for (const FailureRecord& r : records) {
+    if (r.min_events == 1) {
+      ++only_partition;
+    }
+  }
+  Table table;
+  table.title = "Table 8. Faults each event is involved in";
+  table.denominator = n;
+  table.rows.push_back(Row("Only a network-partitioning fault", only_partition, n, 12.6));
+  const std::vector<std::pair<EventType, double>> paper = {
+      {EventType::kWrite, 48.5},          {EventType::kRead, 34.6},
+      {EventType::kAcquireLock, 8.1},     {EventType::kAdminNodeChange, 8.0},
+      {EventType::kDelete, 4.4},          {EventType::kReleaseLock, 3.7},
+      {EventType::kClusterReboot, 1.5},
+  };
+  for (const auto& [type, paper_percent] : paper) {
+    table.rows.push_back(Row(EventTypeName(type), count(type), n, paper_percent));
+  }
+  return table;
+}
+
+Table ComputeTable9Ordering(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  std::map<Ordering, int> counts;
+  for (const FailureRecord& r : records) {
+    ++counts[r.ordering];
+  }
+  Table table;
+  table.title = "Table 9. Ordering characteristics";
+  table.denominator = n;
+  table.rows.push_back(Row(OrderingName(Ordering::kPartitionNotFirst),
+                           counts[Ordering::kPartitionNotFirst], n, 16.0));
+  table.rows.push_back(Row(OrderingName(Ordering::kPartitionFirstOrderUnimportant),
+                           counts[Ordering::kPartitionFirstOrderUnimportant], n, 27.7));
+  table.rows.push_back(Row(OrderingName(Ordering::kPartitionFirstNaturalOrder),
+                           counts[Ordering::kPartitionFirstNaturalOrder], n, 26.9));
+  table.rows.push_back(Row(OrderingName(Ordering::kPartitionFirstOther),
+                           counts[Ordering::kPartitionFirstOther], n, 29.4));
+  return table;
+}
+
+Table ComputeTable10Isolation(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  std::map<Isolation, int> counts;
+  for (const FailureRecord& r : records) {
+    ++counts[r.isolation];
+  }
+  Table table;
+  table.title = "Table 10. System connectivity during the network partition";
+  table.denominator = n;
+  const std::vector<std::pair<Isolation, double>> paper = {
+      {Isolation::kAnyReplica, 44.9},    {Isolation::kLeader, 36.0},
+      {Isolation::kCentralService, 8.8}, {Isolation::kSpecialRole, 3.7},
+      {Isolation::kOther, 6.6},
+  };
+  for (const auto& [isolation, paper_percent] : paper) {
+    table.rows.push_back(Row(IsolationName(isolation), counts[isolation], n, paper_percent));
+  }
+  return table;
+}
+
+Table ComputeTable11Timing(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  std::map<Timing, int> counts;
+  for (const FailureRecord& r : records) {
+    ++counts[r.timing];
+  }
+  Table table;
+  table.title = "Table 11. Timing constraints";
+  table.denominator = n;
+  table.rows.push_back(Row("No timing constraints", counts[Timing::kDeterministic], n, 61.8));
+  table.rows.push_back(Row("Known timing constraints", counts[Timing::kFixed], n, 18.4));
+  table.rows.push_back(
+      Row("Unknown - but still can be tested", counts[Timing::kBounded], n, 12.8));
+  table.rows.push_back(Row("Nondeterministic", counts[Timing::kUnknown], n, 7.0));
+  return table;
+}
+
+ResolutionSummary ComputeTable12Resolution(const std::vector<FailureRecord>& records) {
+  int n = 0;
+  std::map<Resolution, int> counts;
+  double design_days = 0;
+  int design_count = 0;
+  double impl_days = 0;
+  int impl_count = 0;
+  for (const FailureRecord& r : records) {
+    if (r.source != Source::kTicket) {
+      continue;  // Table 12 covers failures reported in issue-tracking systems
+    }
+    ++n;
+    ++counts[r.resolution];
+    if (r.resolution == Resolution::kDesign) {
+      design_days += r.resolution_days;
+      ++design_count;
+    } else if (r.resolution == Resolution::kImplementation) {
+      impl_days += r.resolution_days;
+      ++impl_count;
+    }
+  }
+  ResolutionSummary summary;
+  summary.table.title = "Table 12. Design vs implementation flaws (issue-tracker failures)";
+  summary.table.denominator = n;
+  summary.table.rows.push_back(Row("Design", counts[Resolution::kDesign], n, 46.6));
+  summary.table.rows.push_back(
+      Row("Implementation", counts[Resolution::kImplementation], n, 32.2));
+  summary.table.rows.push_back(Row("Unresolved", counts[Resolution::kUnresolved], n, 21.2));
+  summary.design_avg_days = design_count == 0 ? 0 : design_days / design_count;
+  summary.implementation_avg_days = impl_count == 0 ? 0 : impl_days / impl_count;
+  return summary;
+}
+
+Table ComputeTable13Nodes(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  int three = 0;
+  int five = 0;
+  for (const FailureRecord& r : records) {
+    (r.nodes_to_reproduce <= 3 ? three : five) += 1;
+  }
+  Table table;
+  table.title = "Table 13. Number of nodes needed to reproduce a failure";
+  table.denominator = n;
+  table.rows.push_back(Row("3 nodes", three, n, 83.1));
+  table.rows.push_back(Row("5 nodes", five, n, 16.9));
+  return table;
+}
+
+HeadlineFindings ComputeHeadlines(const std::vector<FailureRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  int catastrophic = 0;
+  int silent = 0;
+  int lasting = 0;
+  int single_node = 0;
+  int single_partition = 0;
+  for (const FailureRecord& r : records) {
+    catastrophic += r.catastrophic ? 1 : 0;
+    silent += r.silent ? 1 : 0;
+    lasting += r.lasting_damage ? 1 : 0;
+    // Failures whose isolation target is a single node (any replica, the
+    // leader, or a special-role node); central services and multi-node
+    // targets need more of the network to fail.
+    single_node += (r.isolation == Isolation::kAnyReplica ||
+                    r.isolation == Isolation::kLeader ||
+                    r.isolation == Isolation::kSpecialRole)
+                       ? 1
+                       : 0;
+    single_partition += r.needs_two_partitions ? 0 : 1;
+  }
+  HeadlineFindings findings;
+  findings.catastrophic_percent = Percent(catastrophic, n);
+  findings.silent_percent = Percent(silent, n);
+  findings.lasting_damage_percent = Percent(lasting, n);
+  findings.single_node_isolation_percent = Percent(single_node, n);
+  findings.single_partition_percent = Percent(single_partition, n);
+  return findings;
+}
+
+std::string FormatTable14(const std::vector<FailureRecord>& records) {
+  std::ostringstream os;
+  os << "Table 14. Failures from the issue-tracking systems and Jepsen\n";
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "  %-15s %-16s %-28s %-20s %-13s\n", "System", "Reference",
+                "Impact", "Partition type", "Timing");
+  os << buf;
+  for (const FailureRecord& r : records) {
+    if (r.source == Source::kNeat) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-15s %-16s %-28s %-20s %-13s\n",
+                  SystemName(r.system), r.reference.c_str(), ImpactName(r.impact),
+                  PartitionTypeName(r.partition), TimingName(r.timing));
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string FormatTable15(const std::vector<FailureRecord>& records) {
+  std::ostringstream os;
+  os << "Table 15. Failures discovered by NEAT\n";
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "  %-15s %-16s %-28s %-20s\n", "System", "Reference",
+                "Impact", "Partition type");
+  os << buf;
+  for (const FailureRecord& r : records) {
+    if (r.source != Source::kNeat) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-15s %-16s %-28s %-20s\n", SystemName(r.system),
+                  r.reference.c_str(), ImpactName(r.impact), PartitionTypeName(r.partition));
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace study

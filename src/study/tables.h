@@ -1,0 +1,76 @@
+// Computation of the paper's Tables 1-13 from the failure dataset, plus the
+// rendering of the appendix Tables 14-15. Every table row carries both the
+// value computed from the dataset and the percentage the paper reports, so
+// the benches print them side by side.
+
+#ifndef STUDY_TABLES_H_
+#define STUDY_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "study/failure.h"
+
+namespace study {
+
+struct TableRow {
+  std::string label;
+  int count = 0;
+  double percent = 0.0;        // computed from the dataset
+  double paper_percent = 0.0;  // as published (0 when not applicable)
+};
+
+struct Table {
+  std::string title;
+  std::vector<TableRow> rows;
+  int denominator = 0;
+};
+
+std::string FormatTable(const Table& table);
+
+// Table 1: studied systems with failure and catastrophic counts.
+struct SystemSummary {
+  System system;
+  const char* consistency;
+  int total = 0;
+  int catastrophic = 0;
+};
+std::vector<SystemSummary> ComputeTable1(const std::vector<FailureRecord>& records);
+std::string FormatTable1(const std::vector<SystemSummary>& rows);
+
+Table ComputeTable2Impact(const std::vector<FailureRecord>& records);
+Table ComputeTable3Mechanisms(const std::vector<FailureRecord>& records);
+Table ComputeTable4ElectionFlaws(const std::vector<FailureRecord>& records);
+Table ComputeTable5ClientAccess(const std::vector<FailureRecord>& records);
+Table ComputeTable6PartitionTypes(const std::vector<FailureRecord>& records);
+Table ComputeTable7EventCounts(const std::vector<FailureRecord>& records);
+Table ComputeTable8EventTypes(const std::vector<FailureRecord>& records);
+Table ComputeTable9Ordering(const std::vector<FailureRecord>& records);
+Table ComputeTable10Isolation(const std::vector<FailureRecord>& records);
+Table ComputeTable11Timing(const std::vector<FailureRecord>& records);
+// Table 12 additionally reports average resolution times.
+struct ResolutionSummary {
+  Table table;
+  double design_avg_days = 0.0;
+  double implementation_avg_days = 0.0;
+};
+ResolutionSummary ComputeTable12Resolution(const std::vector<FailureRecord>& records);
+Table ComputeTable13Nodes(const std::vector<FailureRecord>& records);
+
+// Findings 2/3/6 headline numbers.
+struct HeadlineFindings {
+  double catastrophic_percent = 0.0;        // paper: 80%
+  double silent_percent = 0.0;              // paper: 90%
+  double lasting_damage_percent = 0.0;      // paper: 21%
+  double single_node_isolation_percent = 0.0;  // paper: 88% (complete/simplex of one node)
+  double single_partition_percent = 0.0;    // paper: 99%
+};
+HeadlineFindings ComputeHeadlines(const std::vector<FailureRecord>& records);
+
+// Appendix tables.
+std::string FormatTable14(const std::vector<FailureRecord>& records);
+std::string FormatTable15(const std::vector<FailureRecord>& records);
+
+}  // namespace study
+
+#endif  // STUDY_TABLES_H_

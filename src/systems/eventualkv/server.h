@@ -1,0 +1,102 @@
+// A replica of the eventually consistent store.
+//
+// Leaderless: the replica a client contacts coordinates the operation.
+// Writes carry both a wall-clock timestamp and a version vector; replicas
+// keep the set of causally maximal records per key. How *concurrent*
+// records collapse is the conflict mode: last-writer-wins (one acked write
+// silently dropped) or Riak-style siblings (both kept for the reader).
+// Reads consult a read quorum, resolve, and read-repair. Periodic
+// anti-entropy exchanges full digests so partitions heal eventually.
+// Replicas unreachable at write time get hinted handoffs; whether hints
+// count toward the write quorum and whether they are redelivered are the
+// studied design choices. The store is volatile: a crash loses records and
+// pending hints.
+
+#ifndef SYSTEMS_EVENTUALKV_SERVER_H_
+#define SYSTEMS_EVENTUALKV_SERVER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/failure_detector.h"
+#include "cluster/process.h"
+#include "systems/eventualkv/messages.h"
+#include "systems/eventualkv/types.h"
+
+namespace eventualkv {
+
+class Server : public cluster::Process {
+ public:
+  // `hints_count_toward_quorum` is split from Options so tests can compose
+  // it with either handoff mode (the "sloppy quorum" knob).
+  Server(sim::Simulator* simulator, net::Network* network, net::NodeId id,
+         const Options& options, std::vector<net::NodeId> replicas,
+         bool hints_count_toward_quorum);
+
+  // --- introspection ---
+  // The single visible value ("" when absent); sibling values are joined
+  // with '|' in sorted order.
+  std::optional<std::string> LocalGet(const std::string& key) const;
+  // All live (non-tombstone) sibling values.
+  std::vector<std::string> LocalSiblings(const std::string& key) const;
+  bool HasTombstone(const std::string& key) const;
+  size_t pending_hints() const { return hints_.size(); }
+  size_t store_size() const { return store_.size(); }
+
+ protected:
+  void OnStart() override;
+  void OnRestart() override;
+  void OnMessage(const net::Envelope& envelope) override;
+
+ private:
+  struct PendingOp {
+    net::NodeId client = net::kInvalidNode;
+    uint64_t request_id = 0;
+    bool is_read = false;
+    std::string key;
+    size_t acks = 0;
+    size_t needed = 0;
+    std::vector<Record> collected;  // read replies (plus our own records)
+    sim::EventId timer = sim::kInvalidEventId;
+  };
+  struct Hint {
+    uint64_t id = 0;
+    net::NodeId target = net::kInvalidNode;
+    std::string key;
+    Record record;
+  };
+
+  void Tick();
+  void AntiEntropy();
+  void DeliverHints();
+  void HandleClientRequest(const net::Envelope& envelope, const ClientKvRequest& request);
+  void FinishWrite(uint64_t txn_id, bool ok);
+  void FinishRead(uint64_t txn_id);
+  // Adopts `record` for `key` unless it is causally dominated by (or equal
+  // to) what we hold. Returns true when the store changed.
+  bool Merge(const std::string& key, const Record& record);
+  // Reduces a set of records to the causally maximal ones, then applies the
+  // conflict mode (LWW collapses concurrents to the latest timestamp).
+  std::vector<Record> Resolve(std::vector<Record> records) const;
+  // The client-visible value of a resolved sibling set.
+  static std::string RenderValue(const std::vector<Record>& records);
+  sim::Time LocalClock() const;
+
+  Options options_;
+  bool hints_count_toward_quorum_;
+  std::vector<net::NodeId> replicas_;
+  std::map<std::string, std::vector<Record>> store_;  // causally maximal siblings
+  std::vector<Hint> hints_;
+  std::map<uint64_t, PendingOp> pending_;
+  uint64_t next_txn_ = 1;
+  uint64_t next_hint_ = (1ULL << 32);
+  size_t next_sync_peer_ = 0;
+  cluster::FailureDetector detector_;
+};
+
+}  // namespace eventualkv
+
+#endif  // SYSTEMS_EVENTUALKV_SERVER_H_

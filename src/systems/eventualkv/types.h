@@ -1,0 +1,83 @@
+// Configuration for the eventually consistent, leaderless key-value store
+// (Dynamo archetype: Cassandra / Aerospike / Riak in the study).
+//
+// Every replica accepts writes; a coordinator replica fans each operation
+// out to the others and acknowledges per the write quorum. Periodic
+// anti-entropy reconciles divergent replicas. The data-consolidation flaws
+// the study documents map to knobs:
+//
+//  - last-writer-wins without tombstones: an acked delete is resurrected by
+//    anti-entropy from a replica that missed it (the Aerospike
+//    "reappearance of deleted data", Table 14 [140]).
+//  - wall-clock LWW under clock skew: a later acknowledged write loses to
+//    an earlier one stamped by a fast clock (Cassandra-style LWW loss).
+//  - hinted handoff without retry: hints dropped by a partition are gone,
+//    so acknowledged sloppy-quorum writes never reach their home replicas
+//    (the Riak [67] strict-vs-sloppy quorum loss).
+
+#ifndef SYSTEMS_EVENTUALKV_TYPES_H_
+#define SYSTEMS_EVENTUALKV_TYPES_H_
+
+#include <map>
+
+#include "net/message.h"
+#include "sim/time.h"
+
+namespace eventualkv {
+
+// How concurrent (causally incomparable) writes are resolved.
+enum class ConflictMode {
+  // Last-writer-wins by wall-clock timestamp: one acknowledged write
+  // silently disappears (the Riak [67] default-mode loss).
+  kLww,
+  // Keep both as sibling values for the reader to resolve (Riak's vector
+  // clock mode): nothing acknowledged is ever silently dropped.
+  kSiblings,
+};
+
+struct Options {
+  ConflictMode conflict_mode = ConflictMode::kLww;
+  // Deletes write tombstones that participate in LWW (correct) instead of
+  // erasing the record (flawed: resurrectable).
+  bool tombstones = true;
+  // Hinted handoff redelivers hints until acknowledged (correct) or fires
+  // them once and forgets (flawed).
+  bool handoff_retries = true;
+
+  int num_replicas = 3;
+  int write_quorum = 2;  // acks required before the client sees ok
+  int read_quorum = 2;   // replicas consulted per read (freshest wins)
+  sim::Duration heartbeat_interval = sim::Milliseconds(50);
+  int miss_threshold = 3;
+  sim::Duration anti_entropy_interval = sim::Milliseconds(200);
+  sim::Duration quorum_timeout = sim::Milliseconds(250);
+  // Per-node wall-clock skew applied to LWW timestamps.
+  std::map<net::NodeId, sim::Duration> clock_skew;
+};
+
+inline Options CorrectOptions() { return Options{}; }
+
+// The Aerospike-like configuration: LWW merge with no tombstones.
+inline Options AerospikeOptions() {
+  Options options;
+  options.tombstones = false;
+  return options;
+}
+
+// Riak's vector-clock mode: concurrent writes become siblings.
+inline Options RiakSiblingOptions() {
+  Options options;
+  options.conflict_mode = ConflictMode::kSiblings;
+  return options;
+}
+
+// The Riak-sloppy-like configuration: fire-and-forget hinted handoff.
+inline Options SloppyHandoffOptions() {
+  Options options;
+  options.handoff_retries = false;
+  return options;
+}
+
+}  // namespace eventualkv
+
+#endif  // SYSTEMS_EVENTUALKV_TYPES_H_

@@ -1,0 +1,59 @@
+// Configuration for the replicated lock/semaphore/atomics service.
+//
+// locksvc models the distributed data-structure archetype of Apache Ignite
+// and Terracotta. The central flaw the NEAT testing found in Ignite
+// (IGNITE-9767, -8881..-8883, -9768): "the assumption that an unreachable
+// node has crashed; consequently, nodes on both sides of a partition remove
+// the nodes they cannot reach from their replica set" — after which each
+// side happily grants the same lock/semaphore/atomic update (Figure 5).
+// A second flaw: permits held by an unreachable client are reclaimed; when
+// the partition heals and the client releases, the semaphore is corrupted.
+
+#ifndef SYSTEMS_LOCKSVC_TYPES_H_
+#define SYSTEMS_LOCKSVC_TYPES_H_
+
+#include "sim/time.h"
+
+namespace locksvc {
+
+enum class Quorum {
+  // Correct: an acquire commits only with acknowledgements from a majority
+  // of the *configured* cluster, so at most one partition side can grant.
+  kMajorityOfCluster,
+  // Flawed (Ignite): an acquire needs every node in the coordinator's
+  // *current view* — and unreachable nodes were removed from the view.
+  kAllInView,
+};
+
+struct Options {
+  Quorum quorum = Quorum::kMajorityOfCluster;
+  // Remove peers the failure detector declares dead from the replica view
+  // (the Ignite behaviour). Peers are re-added when heard from again, with
+  // no state reconciliation — divergence persists after the heal.
+  bool remove_unreachable = false;
+  // Reclaim locks/permits held by clients that become unreachable.
+  bool reclaim_unreachable_clients = false;
+
+  int num_replicas = 3;
+  sim::Duration heartbeat_interval = sim::Milliseconds(50);
+  int miss_threshold = 3;
+  sim::Duration acquire_timeout = sim::Milliseconds(250);
+  // How long a holding client may be silent before reclaim.
+  sim::Duration client_lease = sim::Milliseconds(300);
+};
+
+// The corrected configuration.
+inline Options CorrectOptions() { return Options{}; }
+
+// The Ignite-like flawed configuration used by the Figure 5 reproduction.
+inline Options IgniteOptions() {
+  Options options;
+  options.quorum = Quorum::kAllInView;
+  options.remove_unreachable = true;
+  options.reclaim_unreachable_clients = true;
+  return options;
+}
+
+}  // namespace locksvc
+
+#endif  // SYSTEMS_LOCKSVC_TYPES_H_

@@ -1,0 +1,55 @@
+// Configuration for the replicated message queue (ActiveMQ analog).
+//
+// A master broker — elected through the coordination service — serves
+// enqueues and dequeues and replicates them to slave brokers. The two
+// failures NEAT found in ActiveMQ map to two knobs:
+//
+//  - AMQ-6978 (double dequeue under a complete partition): consumer
+//    acknowledgements applied locally and replicated asynchronously, so an
+//    isolated old master hands out a message the new master still has.
+//    Fix: dequeues commit only after a majority of brokers acknowledged the
+//    removal (sync_dequeue).
+//  - AMQ-7064 (cluster blocks indefinitely under a partial partition): the
+//    master cannot reach any replica, so every operation stalls — and the
+//    replicas cannot elect a replacement because ZooKeeper still sees the
+//    master's session. Fix: a master that cannot reach a majority of its
+//    replicas resigns its mastership entry (resign_when_isolated).
+
+#ifndef SYSTEMS_MQUEUE_TYPES_H_
+#define SYSTEMS_MQUEUE_TYPES_H_
+
+#include "sim/time.h"
+
+namespace mqueue {
+
+struct Options {
+  // Commit dequeues through a majority, like enqueues (correct) — or apply
+  // locally and replicate asynchronously (the AMQ-6978 flaw).
+  bool sync_dequeue = true;
+  // A master that cannot replicate resigns so the replicas can take over
+  // (fixes the AMQ-7064 hang).
+  bool resign_when_isolated = true;
+  // A master whose coordination-service lease lapsed stops serving.
+  bool require_zk_lease = true;
+
+  int num_brokers = 3;
+  sim::Duration heartbeat_interval = sim::Milliseconds(50);
+  int miss_threshold = 3;
+  sim::Duration replication_timeout = sim::Milliseconds(150);
+  sim::Duration zk_session_timeout = sim::Milliseconds(300);
+};
+
+inline Options CorrectOptions() { return Options{}; }
+
+// The ActiveMQ-like configuration reproducing Figure 6 and Listing 2.
+inline Options ActiveMqOptions() {
+  Options options;
+  options.sync_dequeue = false;
+  options.resign_when_isolated = false;
+  options.require_zk_lease = false;
+  return options;
+}
+
+}  // namespace mqueue
+
+#endif  // SYSTEMS_MQUEUE_TYPES_H_

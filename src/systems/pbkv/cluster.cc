@@ -1,0 +1,106 @@
+#include "systems/pbkv/cluster.h"
+
+#include <cassert>
+
+namespace pbkv {
+
+Cluster::Cluster(const Config& config)
+    : env_(neat::TestEnv::Options{config.seed, config.use_switch_backend}) {
+  for (int i = 0; i < config.options.num_replicas; ++i) {
+    server_ids_.push_back(static_cast<net::NodeId>(i + 1));
+  }
+  if (config.options.has_arbiter) {
+    arbiter_id_ = static_cast<net::NodeId>(config.options.num_replicas + 1);
+  }
+  for (net::NodeId id : server_ids_) {
+    servers_.push_back(std::make_unique<Server>(&env_.simulator(), &env_.network(), id,
+                                                config.options, server_ids_, arbiter_id_));
+  }
+  if (arbiter_id_ != net::kInvalidNode) {
+    servers_.push_back(std::make_unique<Server>(&env_.simulator(), &env_.network(),
+                                                arbiter_id_,
+                                                config.options, server_ids_, arbiter_id_));
+  }
+  for (int i = 0; i < config.num_clients; ++i) {
+    const net::NodeId client_id = static_cast<net::NodeId>(100 + i + 1);
+    clients_.push_back(std::make_unique<Client>(&env_.simulator(), &env_.network(),
+                                                client_id, i + 1,
+                                                server_ids_, &env_.history()));
+  }
+  for (auto& server : servers_) {
+    server->Boot();
+    env_.RegisterProcess(server.get());
+  }
+  for (auto& client : clients_) {
+    client->Boot();
+    env_.RegisterProcess(client.get());
+  }
+}
+
+Server& Cluster::server(net::NodeId id) {
+  for (auto& server : servers_) {
+    if (server->id() == id) {
+      return *server;
+    }
+  }
+  assert(false && "unknown server id");
+  return *servers_.front();
+}
+
+check::Operation Cluster::RunToCompletion(Client& c) {
+  env_.simulator().RunUntilPredicate([&c]() { return c.idle(); },
+                               env_.simulator().Now() + sim::Seconds(5));
+  return c.last_op();
+}
+
+check::Operation Cluster::Put(int client_index, const std::string& key,
+                              const std::string& value) {
+  Client& c = client(client_index);
+  c.BeginPut(key, value);
+  return RunToCompletion(c);
+}
+
+check::Operation Cluster::Get(int client_index, const std::string& key, bool final_read) {
+  Client& c = client(client_index);
+  c.BeginGet(key, final_read);
+  return RunToCompletion(c);
+}
+
+check::Operation Cluster::Delete(int client_index, const std::string& key) {
+  Client& c = client(client_index);
+  c.BeginDelete(key);
+  return RunToCompletion(c);
+}
+
+net::NodeId Cluster::FindPrimary() const {
+  net::NodeId found = net::kInvalidNode;
+  for (const auto& server : servers_) {
+    if (!server->crashed() && server->is_primary()) {
+      if (found != net::kInvalidNode) {
+        return net::kInvalidNode;  // split brain: no unique primary
+      }
+      found = server->id();
+    }
+  }
+  return found;
+}
+
+std::vector<net::NodeId> Cluster::Primaries() const {
+  std::vector<net::NodeId> out;
+  for (const auto& server : servers_) {
+    if (!server->crashed() && server->is_primary()) {
+      out.push_back(server->id());
+    }
+  }
+  return out;
+}
+
+uint64_t Cluster::TotalElections() const {
+  uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->elections_started();
+  }
+  return total;
+}
+
+}  // namespace pbkv

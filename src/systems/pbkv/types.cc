@@ -1,0 +1,75 @@
+#include "systems/pbkv/types.h"
+
+namespace pbkv {
+
+Options CorrectOptions() {
+  return Options{};
+}
+
+Options VoltDbOptions() {
+  Options options;
+  options.criterion = ElectionCriterion::kLongestLog;
+  options.quorum_reads = false;  // old primary answers reads from its local copy
+  return options;
+}
+
+Options ElasticsearchOptions() {
+  Options options;
+  options.criterion = ElectionCriterion::kLowestId;
+  options.refuse_vote_if_leader_alive = false;  // #2488: vote while leader is alive
+  options.conflict_winner = ConflictWinner::kByCriterion;  // smaller id wins after heal
+  options.write_concern = WriteConcern::kMajorityOfReachable;
+  options.quorum_reads = false;
+  return options;
+}
+
+Options MongoArbiterOptions() {
+  Options options;
+  options.criterion = ElectionCriterion::kLatestTimestamp;
+  options.num_replicas = 2;
+  options.has_arbiter = true;
+  options.arbiter_checks_leader = false;  // votes for any contestant -> thrash
+  options.quorum_reads = false;
+  // MongoDB's historical default write concern (w:1): the primary alone
+  // acknowledges. With only two data replicas and an arbiter, a majority
+  // write concern could never be satisfied across this partition anyway.
+  options.write_concern = WriteConcern::kAsync;
+  return options;
+}
+
+Options MongoConflictingCriteriaOptions() {
+  Options options;
+  options.criterion = ElectionCriterion::kPriorityThenTimestamp;
+  options.quorum_reads = false;
+  return options;
+}
+
+Options AsyncReplicationOptions() {
+  Options options;
+  options.write_concern = WriteConcern::kAsync;
+  options.quorum_reads = false;
+  return options;
+}
+
+Options CoordinatorRoutingOptions() {
+  Options options;
+  options.forward_writes = true;
+  options.quorum_reads = false;
+  return options;
+}
+
+const char* CriterionName(ElectionCriterion criterion) {
+  switch (criterion) {
+    case ElectionCriterion::kLongestLog:
+      return "longest-log";
+    case ElectionCriterion::kLatestTimestamp:
+      return "latest-timestamp";
+    case ElectionCriterion::kLowestId:
+      return "lowest-id";
+    case ElectionCriterion::kPriorityThenTimestamp:
+      return "priority-then-timestamp";
+  }
+  return "?";
+}
+
+}  // namespace pbkv

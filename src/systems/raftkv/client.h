@@ -1,0 +1,60 @@
+// A raftkv client (including the admin operations).
+
+#ifndef SYSTEMS_RAFTKV_CLIENT_H_
+#define SYSTEMS_RAFTKV_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "cluster/process.h"
+#include "systems/raftkv/messages.h"
+
+namespace raftkv {
+
+class Client : public cluster::Process {
+ public:
+  Client(sim::Simulator* simulator, net::Network* network, net::NodeId id, int client_num,
+         std::vector<net::NodeId> servers, check::History* history);
+
+  void set_contact(net::NodeId contact) { contact_ = contact; }
+  void set_allow_redirect(bool allow) { allow_redirect_ = allow; }
+  void set_op_timeout(sim::Duration timeout) { op_timeout_ = timeout; }
+
+  void BeginPut(const std::string& key, const std::string& value);
+  void BeginGet(const std::string& key, bool final_read = false);
+  void BeginDelete(const std::string& key);
+  // Admin: replace the cluster membership (modelled on RethinkDB's
+  // "change the replication factor").
+  void BeginChangeMembers(std::vector<net::NodeId> members);
+
+  bool idle() const { return !outstanding_; }
+  const check::Operation& last_op() const { return last_op_; }
+
+ protected:
+  void OnMessage(const net::Envelope& envelope) override;
+
+ private:
+  void Begin(check::OpType type, Command command, bool final_read);
+  void Complete(check::OpStatus status, const std::string& value);
+
+  int client_num_;
+  std::vector<net::NodeId> servers_;
+  check::History* history_;
+  net::NodeId contact_;
+  bool allow_redirect_ = true;
+  sim::Duration op_timeout_ = sim::Milliseconds(1500);
+
+  bool outstanding_ = false;
+  Command current_command_;
+  uint64_t next_request_id_ = 1;
+  uint64_t current_request_id_ = 0;
+  int redirects_left_ = 0;
+  check::Operation pending_op_;
+  check::Operation last_op_;
+  sim::EventId timeout_timer_ = sim::kInvalidEventId;
+};
+
+}  // namespace raftkv
+
+#endif  // SYSTEMS_RAFTKV_CLIENT_H_

@@ -1,0 +1,90 @@
+#include "systems/raftkv/cluster.h"
+
+#include <cassert>
+
+namespace raftkv {
+
+Cluster::Cluster(const Config& config)
+    : env_(neat::TestEnv::Options{config.seed, config.use_switch_backend}) {
+  for (int i = 0; i < config.num_servers; ++i) {
+    server_ids_.push_back(static_cast<net::NodeId>(i + 1));
+  }
+  for (net::NodeId id : server_ids_) {
+    servers_.push_back(std::make_unique<Server>(&env_.simulator(), &env_.network(), id,
+                                                config.options, server_ids_));
+  }
+  for (int i = 0; i < config.num_clients; ++i) {
+    const net::NodeId client_id = static_cast<net::NodeId>(100 + i + 1);
+    clients_.push_back(std::make_unique<Client>(&env_.simulator(), &env_.network(),
+                                                client_id, i + 1,
+                                                server_ids_, &env_.history()));
+  }
+  for (auto& server : servers_) {
+    server->Boot();
+    env_.RegisterProcess(server.get());
+  }
+  for (auto& client : clients_) {
+    client->Boot();
+    env_.RegisterProcess(client.get());
+  }
+}
+
+Server& Cluster::server(net::NodeId id) {
+  for (auto& server : servers_) {
+    if (server->id() == id) {
+      return *server;
+    }
+  }
+  assert(false && "unknown server id");
+  return *servers_.front();
+}
+
+std::vector<net::NodeId> Cluster::Leaders() const {
+  std::vector<net::NodeId> out;
+  for (const auto& server : servers_) {
+    if (!server->crashed() && server->is_leader()) {
+      out.push_back(server->id());
+    }
+  }
+  return out;
+}
+
+net::NodeId Cluster::WaitForLeader(sim::Duration deadline) {
+  env_.simulator().RunUntilPredicate([this]() { return !Leaders().empty(); },
+                               env_.simulator().Now() + deadline);
+  auto leaders = Leaders();
+  return leaders.empty() ? net::kInvalidNode : leaders.front();
+}
+
+check::Operation Cluster::RunToCompletion(Client& c) {
+  env_.simulator().RunUntilPredicate([&c]() { return c.idle(); },
+                               env_.simulator().Now() + sim::Seconds(10));
+  return c.last_op();
+}
+
+check::Operation Cluster::Put(int client_index, const std::string& key,
+                              const std::string& value) {
+  Client& c = client(client_index);
+  c.BeginPut(key, value);
+  return RunToCompletion(c);
+}
+
+check::Operation Cluster::Get(int client_index, const std::string& key, bool final_read) {
+  Client& c = client(client_index);
+  c.BeginGet(key, final_read);
+  return RunToCompletion(c);
+}
+
+check::Operation Cluster::Delete(int client_index, const std::string& key) {
+  Client& c = client(client_index);
+  c.BeginDelete(key);
+  return RunToCompletion(c);
+}
+
+check::Operation Cluster::ChangeMembers(int client_index, std::vector<net::NodeId> members) {
+  Client& c = client(client_index);
+  c.BeginChangeMembers(std::move(members));
+  return RunToCompletion(c);
+}
+
+}  // namespace raftkv

@@ -1,0 +1,59 @@
+// A wired scheduler deployment: ResourceManager, workers, output store,
+// and clients.
+
+#ifndef SYSTEMS_SCHED_CLUSTER_H_
+#define SYSTEMS_SCHED_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "neat/env.h"
+#include "net/partition.h"
+#include "systems/sched/processes.h"
+
+namespace sched {
+
+class Cluster {
+ public:
+  struct Config {
+    Options options;
+    int num_clients = 1;
+    uint64_t seed = 1;
+    bool use_switch_backend = true;
+  };
+
+  explicit Cluster(const Config& config);
+
+  sim::Simulator& simulator() { return env_.simulator(); }
+  net::Partitioner& partitioner() { return env_.partitioner(); }
+  check::History& history() { return env_.history(); }
+  neat::TestEnv& env() { return env_; }
+
+  net::NodeId rm_id() const { return rm_id_; }
+  net::NodeId store_id() const { return store_id_; }
+  const std::vector<net::NodeId>& worker_ids() const { return worker_ids_; }
+
+  ResourceManager& rm() { return *rm_; }
+  OutputStore& store() { return *store_; }
+  Worker& worker(net::NodeId id);
+  Client& client(int index) { return *clients_.at(static_cast<size_t>(index)); }
+
+  void Settle(sim::Duration duration) { env_.Sleep(duration); }
+  check::Operation Submit(int client, const std::string& task_id);
+
+ private:
+  neat::TestEnv env_;
+  net::NodeId rm_id_ = 10;
+  net::NodeId store_id_ = 20;
+  std::vector<net::NodeId> worker_ids_;
+  std::unique_ptr<ResourceManager> rm_;
+  std::unique_ptr<OutputStore> store_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace sched
+
+#endif  // SYSTEMS_SCHED_CLUSTER_H_

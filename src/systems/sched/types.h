@@ -1,0 +1,41 @@
+// Configuration for the data-processing scheduler (MapReduce analog).
+//
+// A ResourceManager launches an AppMaster on a worker for every submitted
+// task; the AppMaster fans containers out to workers, commits the result to
+// a shared output store, and notifies the client. MAPREDUCE-4819/-4832
+// (Figure 3): a partial partition between the AppMaster and the
+// ResourceManager — with both still reaching the workers, the store, and
+// the client — makes the ResourceManager start a second AppMaster while the
+// first is still running, so the task executes and delivers results twice.
+// The fix modelled here is commit fencing: the output store accepts a
+// commit only from the attempt the ResourceManager registered last.
+
+#ifndef SYSTEMS_SCHED_TYPES_H_
+#define SYSTEMS_SCHED_TYPES_H_
+
+#include "sim/time.h"
+
+namespace sched {
+
+struct Options {
+  // The output store rejects commits from superseded attempts.
+  bool fence_commits = true;
+
+  int num_workers = 3;
+  int containers_per_task = 2;
+  sim::Duration container_runtime = sim::Milliseconds(200);
+  sim::Duration am_heartbeat_interval = sim::Milliseconds(50);
+  int am_miss_threshold = 3;  // RM declares the AM dead after this
+};
+
+inline Options CorrectOptions() { return Options{}; }
+
+inline Options MapReduceOptions() {
+  Options options;
+  options.fence_commits = false;  // the MAPREDUCE-4819 behaviour
+  return options;
+}
+
+}  // namespace sched
+
+#endif  // SYSTEMS_SCHED_TYPES_H_

@@ -1,0 +1,72 @@
+// Wire messages of the coordination-service registry (ZooKeeper analog).
+
+#ifndef SYSTEMS_ZK_MESSAGES_H_
+#define SYSTEMS_ZK_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/message.h"
+
+namespace zksvc {
+
+// Session keep-alive; the registry expires sessions that stop pinging and
+// deletes their ephemeral entries.
+struct ZkPing : public net::Message {
+  std::string TypeName() const override { return "zk.Ping"; }
+};
+
+struct ZkPong : public net::Message {
+  std::string TypeName() const override { return "zk.Pong"; }
+};
+
+// Creates an entry owned by the sender's session. Fails if it exists.
+struct ZkCreate : public net::Message {
+  std::string TypeName() const override { return "zk.Create"; }
+  uint64_t request_id = 0;
+  std::string path;
+  std::string data;
+  bool ephemeral = true;
+};
+
+struct ZkCreateReply : public net::Message {
+  std::string TypeName() const override { return "zk.CreateReply"; }
+  uint64_t request_id = 0;
+  bool ok = false;
+};
+
+struct ZkGet : public net::Message {
+  std::string TypeName() const override { return "zk.Get"; }
+  uint64_t request_id = 0;
+  std::string path;
+};
+
+struct ZkGetReply : public net::Message {
+  std::string TypeName() const override { return "zk.GetReply"; }
+  uint64_t request_id = 0;
+  bool exists = false;
+  std::string data;
+};
+
+struct ZkDelete : public net::Message {
+  std::string TypeName() const override { return "zk.Delete"; }
+  uint64_t request_id = 0;
+  std::string path;
+};
+
+// Registers interest in a path; one-shot, re-armed by the watcher.
+struct ZkWatch : public net::Message {
+  std::string TypeName() const override { return "zk.Watch"; }
+  std::string path;
+};
+
+// Fired when a watched path is created, changed, or deleted.
+struct ZkEvent : public net::Message {
+  std::string TypeName() const override { return "zk.Event"; }
+  std::string path;
+  bool deleted = false;
+};
+
+}  // namespace zksvc
+
+#endif  // SYSTEMS_ZK_MESSAGES_H_

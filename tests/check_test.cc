@@ -1,0 +1,339 @@
+// Unit tests for the history recorder, the impact checkers, and the
+// linearizability checker.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/checkers.h"
+#include "check/history.h"
+#include "check/linearizability.h"
+
+namespace check {
+namespace {
+
+Operation MakeOp(int client, OpType type, const std::string& key, const std::string& value,
+                 OpStatus status, sim::Time invoked, sim::Time completed,
+                 bool final_read = false) {
+  Operation op;
+  op.client = client;
+  op.type = type;
+  op.key = key;
+  op.value = value;
+  op.status = status;
+  op.invoked = invoked;
+  op.completed = completed;
+  op.final_read = final_read;
+  return op;
+}
+
+TEST(HistoryTest, RecordAssignsSequentialIds) {
+  History h;
+  EXPECT_EQ(h.Record(MakeOp(1, OpType::kWrite, "k", "v", OpStatus::kOk, 0, 1)), 1u);
+  EXPECT_EQ(h.Record(MakeOp(1, OpType::kRead, "k", "v", OpStatus::kOk, 2, 3)), 2u);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(HistoryTest, LastAckedWritePicksLatestCompletion) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "v1", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kWrite, "k", "v2", OpStatus::kOk, 11, 20));
+  h.Record(MakeOp(1, OpType::kWrite, "k", "v3", OpStatus::kFail, 21, 30));
+  auto last = h.LastAckedWrite("k");
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->value, "v2");
+  EXPECT_FALSE(h.LastAckedWrite("other").has_value());
+}
+
+TEST(HistoryTest, FiltersByTypeAndKey) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "a", "1", OpStatus::kOk, 0, 1));
+  h.Record(MakeOp(1, OpType::kRead, "a", "1", OpStatus::kOk, 2, 3));
+  h.Record(MakeOp(2, OpType::kWrite, "b", "2", OpStatus::kOk, 4, 5));
+  EXPECT_EQ(h.OfType(OpType::kWrite).size(), 2u);
+  EXPECT_EQ(h.ForKey("a").size(), 2u);
+}
+
+TEST(CheckDirtyReads, DetectsValueOfFailedWrite) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "dirty", OpStatus::kFail, 0, 10));
+  h.Record(MakeOp(1, OpType::kRead, "k", "dirty", OpStatus::kOk, 20, 21));
+  auto violations = CheckDirtyReads(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].impact, "dirty read");
+}
+
+TEST(CheckDirtyReads, CleanHistoryPasses) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "v", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kRead, "k", "v", OpStatus::kOk, 20, 21));
+  EXPECT_TRUE(CheckDirtyReads(h).empty());
+}
+
+TEST(CheckStaleReads, DetectsSupersededValue) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "old", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kWrite, "k", "new", OpStatus::kOk, 11, 20));
+  h.Record(MakeOp(2, OpType::kRead, "k", "old", OpStatus::kOk, 30, 31));
+  auto violations = CheckStaleReads(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].impact, "stale read");
+}
+
+TEST(CheckStaleReads, ConcurrentReadIsNotStale) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "old", OpStatus::kOk, 0, 10));
+  // Read overlaps the second write, so returning "old" is legal.
+  h.Record(MakeOp(1, OpType::kWrite, "k", "new", OpStatus::kOk, 11, 20));
+  h.Record(MakeOp(2, OpType::kRead, "k", "old", OpStatus::kOk, 15, 16));
+  EXPECT_TRUE(CheckStaleReads(h).empty());
+}
+
+TEST(CheckDataLoss, DetectsMissingAckedWrite) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "kept", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(2, OpType::kRead, "k", "", OpStatus::kOk, 100, 101, /*final_read=*/true));
+  auto violations = CheckDataLoss(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].impact, "data loss");
+}
+
+TEST(CheckDataLoss, NonFinalReadIsIgnored) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "kept", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(2, OpType::kRead, "k", "", OpStatus::kOk, 100, 101));
+  EXPECT_TRUE(CheckDataLoss(h).empty());
+}
+
+TEST(CheckDataLoss, AckedDeleteLegitimatelyEmptiesKey) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "v", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kDelete, "k", "", OpStatus::kOk, 20, 30));
+  h.Record(MakeOp(2, OpType::kRead, "k", "", OpStatus::kOk, 100, 101, /*final_read=*/true));
+  EXPECT_TRUE(CheckDataLoss(h).empty());
+}
+
+TEST(CheckReappearance, DetectsResurrectedValue) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "ghost", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kDelete, "k", "", OpStatus::kOk, 20, 30));
+  h.Record(MakeOp(2, OpType::kRead, "k", "ghost", OpStatus::kOk, 100, 101,
+                  /*final_read=*/true));
+  auto violations = CheckReappearance(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].impact, "reappearance of deleted data");
+}
+
+TEST(CheckReappearance, RewrittenValueIsLegal) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "v", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kDelete, "k", "", OpStatus::kOk, 20, 30));
+  h.Record(MakeOp(1, OpType::kWrite, "k", "v", OpStatus::kOk, 40, 50));
+  h.Record(MakeOp(2, OpType::kRead, "k", "v", OpStatus::kOk, 100, 101, /*final_read=*/true));
+  EXPECT_TRUE(CheckReappearance(h).empty());
+}
+
+TEST(CheckBrokenLocks, DetectsDoubleLocking) {
+  History h;
+  h.Record(MakeOp(1, OpType::kLock, "L", "", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(2, OpType::kLock, "L", "", OpStatus::kOk, 20, 30));
+  auto violations = CheckBrokenLocks(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].impact, "broken locks");
+}
+
+TEST(CheckBrokenLocks, SequentialLockingIsLegal) {
+  History h;
+  h.Record(MakeOp(1, OpType::kLock, "L", "", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kUnlock, "L", "", OpStatus::kOk, 20, 30));
+  h.Record(MakeOp(2, OpType::kLock, "L", "", OpStatus::kOk, 40, 50));
+  EXPECT_TRUE(CheckBrokenLocks(h).empty());
+}
+
+TEST(CheckBrokenLocks, DifferentLocksDoNotConflict) {
+  History h;
+  h.Record(MakeOp(1, OpType::kLock, "L1", "", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(2, OpType::kLock, "L2", "", OpStatus::kOk, 20, 30));
+  EXPECT_TRUE(CheckBrokenLocks(h).empty());
+}
+
+TEST(CheckSemaphore, DetectsPermitOverflow) {
+  History h;
+  h.Record(MakeOp(1, OpType::kSemAcquire, "S", "", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(2, OpType::kSemAcquire, "S", "", OpStatus::kOk, 20, 30));
+  EXPECT_TRUE(CheckSemaphore(h, "S", 2).empty());
+  auto violations = CheckSemaphore(h, "S", 1);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].impact, "broken locks");
+}
+
+TEST(CheckSemaphore, ReleaseFreesPermit) {
+  History h;
+  h.Record(MakeOp(1, OpType::kSemAcquire, "S", "", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kSemRelease, "S", "", OpStatus::kOk, 20, 30));
+  h.Record(MakeOp(2, OpType::kSemAcquire, "S", "", OpStatus::kOk, 40, 50));
+  EXPECT_TRUE(CheckSemaphore(h, "S", 1).empty());
+}
+
+TEST(CheckDoubleDequeue, DetectsDuplicateDelivery) {
+  History h;
+  h.Record(MakeOp(1, OpType::kEnqueue, "q", "m1", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kDequeue, "q", "m1", OpStatus::kOk, 20, 30));
+  h.Record(MakeOp(2, OpType::kDequeue, "q", "m1", OpStatus::kOk, 40, 50));
+  auto violations = CheckDoubleDequeue(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].impact, "double dequeue");
+}
+
+TEST(CheckLostMessages, DetectsUndeliveredEnqueueAfterDrain) {
+  History h;
+  h.Record(MakeOp(1, OpType::kEnqueue, "q", "m1", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(2, OpType::kDequeue, "q", "", OpStatus::kOk, 100, 101,
+                  /*final_read=*/true));
+  auto violations = CheckLostMessages(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].impact, "data loss");
+}
+
+TEST(CheckLostMessages, NoDrainNoVerdict) {
+  History h;
+  h.Record(MakeOp(1, OpType::kEnqueue, "q", "m1", OpStatus::kOk, 0, 10));
+  EXPECT_TRUE(CheckLostMessages(h).empty());
+}
+
+TEST(CheckDoubleExecution, CountsTaskRuns) {
+  std::vector<TaskExecution> execs{{"t1", 1, 10}, {"t1", 2, 20}, {"t2", 1, 30}};
+  auto violations = CheckDoubleExecution(execs);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].impact, "double execution");
+}
+
+TEST(CheckAllTest, AggregatesAllCheckers) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "dirty", OpStatus::kFail, 0, 10));
+  h.Record(MakeOp(1, OpType::kRead, "k", "dirty", OpStatus::kOk, 20, 21));
+  h.Record(MakeOp(1, OpType::kLock, "L", "", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(2, OpType::kLock, "L", "", OpStatus::kOk, 20, 30));
+  auto violations = CheckAll(h);
+  EXPECT_EQ(violations.size(), 2u);
+  EXPECT_FALSE(FormatViolations(violations).empty());
+}
+
+TEST(CheckCounterUniqueness, DetectsDuplicateAssignments) {
+  History h;
+  Operation op = MakeOp(1, OpType::kOther, "seq", "", OpStatus::kOk, 0, 10);
+  op.value = "5";
+  h.Record(op);
+  op.client = 2;
+  op.invoked = 20;
+  op.completed = 30;
+  h.Record(op);
+  auto violations = CheckCounterUniqueness(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].impact, "broken locks");
+}
+
+TEST(CheckCounterUniqueness, UniqueValuesPass) {
+  History h;
+  Operation op = MakeOp(1, OpType::kOther, "seq", "", OpStatus::kOk, 0, 10);
+  op.value = "5";
+  h.Record(op);
+  op.value = "6";
+  h.Record(op);
+  EXPECT_TRUE(CheckCounterUniqueness(h).empty());
+}
+
+TEST(CheckCounterUniqueness, DifferentCountersDoNotCollide) {
+  History h;
+  Operation op = MakeOp(1, OpType::kOther, "seq-a", "", OpStatus::kOk, 0, 10);
+  op.value = "5";
+  h.Record(op);
+  op.key = "seq-b";
+  h.Record(op);
+  EXPECT_TRUE(CheckCounterUniqueness(h).empty());
+}
+
+// --- linearizability ---
+
+TEST(Linearizability, SequentialHistoryIsLinearizable) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "a", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kRead, "k", "a", OpStatus::kOk, 20, 30));
+  h.Record(MakeOp(1, OpType::kWrite, "k", "b", OpStatus::kOk, 40, 50));
+  h.Record(MakeOp(1, OpType::kRead, "k", "b", OpStatus::kOk, 60, 70));
+  EXPECT_TRUE(CheckLinearizable(h).linearizable);
+}
+
+TEST(Linearizability, StaleReadIsNotLinearizable) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "a", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kWrite, "k", "b", OpStatus::kOk, 20, 30));
+  h.Record(MakeOp(2, OpType::kRead, "k", "a", OpStatus::kOk, 40, 50));
+  EXPECT_FALSE(CheckLinearizable(h).linearizable);
+}
+
+TEST(Linearizability, ConcurrentWritesAllowEitherOrder) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "a", OpStatus::kOk, 0, 100));
+  h.Record(MakeOp(2, OpType::kWrite, "k", "b", OpStatus::kOk, 0, 100));
+  h.Record(MakeOp(3, OpType::kRead, "k", "a", OpStatus::kOk, 200, 210));
+  EXPECT_TRUE(CheckLinearizable(h).linearizable);
+  History h2;
+  h2.Record(MakeOp(1, OpType::kWrite, "k", "a", OpStatus::kOk, 0, 100));
+  h2.Record(MakeOp(2, OpType::kWrite, "k", "b", OpStatus::kOk, 0, 100));
+  h2.Record(MakeOp(3, OpType::kRead, "k", "b", OpStatus::kOk, 200, 210));
+  EXPECT_TRUE(CheckLinearizable(h2).linearizable);
+}
+
+TEST(Linearizability, ReadOfUnwrittenValueFails) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "a", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(2, OpType::kRead, "k", "phantom", OpStatus::kOk, 20, 30));
+  EXPECT_FALSE(CheckLinearizable(h).linearizable);
+}
+
+TEST(Linearizability, TimedOutWriteMayOrMayNotTakeEffect) {
+  // The write timed out: reading either the old or the new value is legal.
+  History a;
+  a.Record(MakeOp(1, OpType::kWrite, "k", "v1", OpStatus::kOk, 0, 10));
+  a.Record(MakeOp(1, OpType::kWrite, "k", "v2", OpStatus::kTimeout, 20, 30));
+  a.Record(MakeOp(2, OpType::kRead, "k", "v1", OpStatus::kOk, 40, 50));
+  EXPECT_TRUE(CheckLinearizable(a).linearizable);
+  History b;
+  b.Record(MakeOp(1, OpType::kWrite, "k", "v1", OpStatus::kOk, 0, 10));
+  b.Record(MakeOp(1, OpType::kWrite, "k", "v2", OpStatus::kTimeout, 20, 30));
+  b.Record(MakeOp(2, OpType::kRead, "k", "v2", OpStatus::kOk, 40, 50));
+  EXPECT_TRUE(CheckLinearizable(b).linearizable);
+}
+
+TEST(Linearizability, TimedOutWriteCannotUnhappenAfterObserved) {
+  // Once a later read observed v2, an even later read cannot regress to v1.
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k", "v1", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kWrite, "k", "v2", OpStatus::kTimeout, 20, 30));
+  h.Record(MakeOp(2, OpType::kRead, "k", "v2", OpStatus::kOk, 40, 50));
+  h.Record(MakeOp(2, OpType::kRead, "k", "v1", OpStatus::kOk, 60, 70));
+  EXPECT_FALSE(CheckLinearizable(h).linearizable);
+}
+
+TEST(Linearizability, InitialValueIsEmpty) {
+  History h;
+  h.Record(MakeOp(1, OpType::kRead, "k", "", OpStatus::kOk, 0, 10));
+  EXPECT_TRUE(CheckLinearizable(h).linearizable);
+  History bad;
+  bad.Record(MakeOp(1, OpType::kRead, "k", "", OpStatus::kOk, 20, 30));
+  bad.Record(MakeOp(1, OpType::kWrite, "k", "v", OpStatus::kOk, 0, 10));
+  EXPECT_FALSE(CheckLinearizable(bad).linearizable);
+}
+
+TEST(Linearizability, KeysAreIndependent) {
+  History h;
+  h.Record(MakeOp(1, OpType::kWrite, "k1", "a", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(1, OpType::kWrite, "k2", "b", OpStatus::kOk, 0, 10));
+  h.Record(MakeOp(2, OpType::kRead, "k1", "a", OpStatus::kOk, 20, 30));
+  h.Record(MakeOp(2, OpType::kRead, "k2", "b", OpStatus::kOk, 20, 30));
+  EXPECT_TRUE(CheckLinearizable(h).linearizable);
+}
+
+}  // namespace
+}  // namespace check

@@ -1,0 +1,431 @@
+// Scenario and property tests for the eventually consistent store,
+// reproducing the data-consolidation failures of the study: reappearance of
+// deleted data (Aerospike [140]), clock-skew LWW loss, and sloppy-quorum
+// loss of acknowledged writes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/checkers.h"
+#include "systems/eventualkv/cluster.h"
+
+namespace eventualkv {
+namespace {
+
+using check::OpStatus;
+
+Cluster::Config MakeConfig(const Options& options, uint64_t seed = 1) {
+  Cluster::Config config;
+  config.options = options;
+  config.seed = seed;
+  return config;
+}
+
+TEST(EkvSteadyState, PutGetRoundTrips) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Put(0, "k", "v1").status, OpStatus::kOk);
+  auto get = cluster.Get(1, "k");
+  EXPECT_EQ(get.status, OpStatus::kOk);
+  EXPECT_EQ(get.value, "v1");
+}
+
+TEST(EkvSteadyState, WritesReachAllReplicas) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(300));
+  for (net::NodeId id : cluster.server_ids()) {
+    EXPECT_EQ(cluster.server(id).LocalGet("k").value_or("<none>"), "v") << "replica " << id;
+  }
+}
+
+TEST(EkvSteadyState, DeleteLeavesTombstone) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Delete(0, "k").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(300));
+  EXPECT_TRUE(cluster.server(1).HasTombstone("k"));
+  auto get = cluster.Get(1, "k", /*final_read=*/true);
+  EXPECT_EQ(get.value, "");
+}
+
+TEST(EkvSteadyState, LastWriterWinsAcrossCoordinators) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  ASSERT_EQ(cluster.Put(0, "k", "first").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(100));
+  ASSERT_EQ(cluster.Put(1, "k", "second").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(500));
+  auto get = cluster.Get(0, "k", /*final_read=*/true);
+  EXPECT_EQ(get.value, "second");
+}
+
+TEST(EkvSteadyState, ReadRepairFixesAStaleReplica) {
+  Options options = CorrectOptions();
+  options.anti_entropy_interval = 0;  // isolate the read-repair path
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(200));
+  // Write while replica 3 is partitioned away (hint not yet delivered).
+  auto partition = cluster.partitioner().Complete({3}, {1, 2});
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  // A quorum read via replica 3 observes the fresh record and repairs.
+  cluster.client(1).set_contact(3);
+  auto get = cluster.Get(1, "k");
+  EXPECT_EQ(get.value, "v");
+  cluster.Settle(sim::Milliseconds(300));
+  EXPECT_EQ(cluster.server(3).LocalGet("k").value_or("<none>"), "v");
+}
+
+TEST(EkvAntiEntropy, ConvergesDivergentReplicasAfterHeal) {
+  Options options = CorrectOptions();
+  options.write_quorum = 1;
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  ASSERT_EQ(cluster.Put(0, "a", "from-minority").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Put(1, "b", "from-majority").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(2));
+  for (net::NodeId id : cluster.server_ids()) {
+    EXPECT_EQ(cluster.server(id).LocalGet("a").value_or("<none>"), "from-minority");
+    EXPECT_EQ(cluster.server(id).LocalGet("b").value_or("<none>"), "from-majority");
+  }
+}
+
+// --- reappearance of deleted data (Aerospike, Table 14 [140]) ---
+
+TEST(EkvReappearance, MergeWithoutTombstonesResurrectsDeletedData) {
+  Cluster cluster(MakeConfig(AerospikeOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Put(0, "ghost", "haunting").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(300));  // replicated everywhere
+
+  // Partition replica 3 away; the delete commits on the majority side.
+  auto partition = cluster.partitioner().Complete({3}, {1, 2});
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Delete(0, "ghost").status, OpStatus::kOk);
+
+  // Heal: anti-entropy merges replica 3's stale record back in — nothing
+  // remembers the deletion.
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(2));
+  auto get = cluster.Get(1, "ghost", /*final_read=*/true);
+  EXPECT_EQ(get.value, "haunting") << "deleted data should reappear";
+  auto violations = check::CheckReappearance(cluster.history());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].impact, "reappearance of deleted data");
+}
+
+TEST(EkvReappearance, TombstonesPreventIt) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Put(0, "ghost", "haunting").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(300));
+  auto partition = cluster.partitioner().Complete({3}, {1, 2});
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Delete(0, "ghost").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(2));
+  auto get = cluster.Get(1, "ghost", /*final_read=*/true);
+  EXPECT_EQ(get.value, "");
+  EXPECT_TRUE(check::CheckReappearance(cluster.history()).empty());
+  EXPECT_TRUE(cluster.server(3).HasTombstone("ghost")) << "tombstone propagated";
+}
+
+// --- clock-skew LWW: a later acknowledged write loses ---
+
+TEST(EkvClockSkew, FastClockShadowsLaterWrite) {
+  Options options = CorrectOptions();
+  options.write_quorum = 1;  // both sides can acknowledge
+  options.clock_skew[1] = sim::Seconds(5);
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  ASSERT_EQ(cluster.Put(0, "k", "early-but-skewed").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Put(1, "k", "later-and-real").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(2));
+  auto get = cluster.Get(1, "k", /*final_read=*/true);
+  EXPECT_EQ(get.value, "early-but-skewed") << "the skewed clock wins LWW";
+  auto violations = check::CheckDataLoss(cluster.history());
+  ASSERT_FALSE(violations.empty());
+}
+
+TEST(EkvClockSkew, AccurateClocksKeepTheLaterWrite) {
+  Options options = CorrectOptions();
+  options.write_quorum = 1;
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  ASSERT_EQ(cluster.Put(0, "k", "early").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Put(1, "k", "later").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(2));
+  auto get = cluster.Get(1, "k", /*final_read=*/true);
+  EXPECT_EQ(get.value, "later");
+  EXPECT_TRUE(check::CheckDataLoss(cluster.history()).empty());
+}
+
+// --- sloppy quorum: hints are not replicas ---
+
+TEST(EkvSloppyQuorum, AckedWriteDiesWithItsOnlyCopy) {
+  Cluster::Config config = MakeConfig(CorrectOptions());
+  config.hints_count_toward_quorum = true;  // the sloppy-quorum flaw
+  Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(300));  // node 1 declares 2 and 3 dead
+  cluster.client(0).set_contact(1);
+  auto put = cluster.Put(0, "k", "only-on-n1");
+  EXPECT_EQ(put.status, OpStatus::kOk) << "hints satisfied the write quorum";
+  EXPECT_EQ(cluster.server(1).pending_hints(), 2u);
+
+  // The only real copy dies before the partition heals.
+  cluster.server(1).Crash();
+  cluster.partitioner().Heal(partition);
+  cluster.server(1).Restart();
+  cluster.Settle(sim::Seconds(2));
+  auto get = cluster.Get(1, "k", /*final_read=*/true);
+  EXPECT_EQ(get.value, "");
+  auto violations = check::CheckDataLoss(cluster.history());
+  ASSERT_FALSE(violations.empty());
+}
+
+TEST(EkvSloppyQuorum, StrictQuorumRefusesTheWrite) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(0).set_contact(1);
+  auto put = cluster.Put(0, "k", "never-acked");
+  EXPECT_NE(put.status, OpStatus::kOk);
+  cluster.server(1).Crash();
+  cluster.partitioner().Heal(partition);
+  cluster.server(1).Restart();
+  cluster.Settle(sim::Seconds(2));
+  cluster.Get(1, "k", /*final_read=*/true);
+  EXPECT_TRUE(check::CheckDataLoss(cluster.history()).empty());
+}
+
+// --- hinted handoff delivery ---
+
+TEST(EkvHandoff, RetriedHintsSurviveFlakyLinks) {
+  Options options = CorrectOptions();
+  options.anti_entropy_interval = 0;  // hints are the only repair channel
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({3}, {1, 2});
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  EXPECT_EQ(cluster.server(1).pending_hints(), 1u);
+  // Heal, but the link to replica 3 stays lossy for a while.
+  cluster.partitioner().Heal(partition);
+  cluster.network().SetLinkLoss(1, 3, 1.0);
+  cluster.Settle(sim::Seconds(1));
+  cluster.network().SetLinkLoss(1, 3, 0.0);
+  cluster.Settle(sim::Seconds(1));
+  EXPECT_EQ(cluster.server(3).LocalGet("k").value_or("<none>"), "v");
+  EXPECT_EQ(cluster.server(1).pending_hints(), 0u);
+}
+
+TEST(EkvHandoff, FireAndForgetHintsVanishOnALossyLink) {
+  Options options = SloppyHandoffOptions();
+  options.anti_entropy_interval = 0;
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({3}, {1, 2});
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.network().SetLinkLoss(1, 3, 1.0);
+  cluster.Settle(sim::Seconds(1));
+  cluster.network().SetLinkLoss(1, 3, 0.0);
+  cluster.Settle(sim::Seconds(1));
+  EXPECT_EQ(cluster.server(3).LocalGet("k").value_or("<none>"), "<none>")
+      << "the hint was fired once into the lossy link and forgotten";
+  EXPECT_EQ(cluster.server(1).pending_hints(), 0u);
+}
+
+// --- concurrent writes: LWW silent loss vs Riak-style siblings ---
+
+TEST(EkvSiblings, LwwSilentlyDropsOneConcurrentAckedWrite) {
+  Options options = CorrectOptions();
+  options.write_quorum = 1;
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  ASSERT_EQ(cluster.Put(0, "k", "from-side-a").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Put(1, "k", "from-side-b").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(2));
+  auto get = cluster.Get(1, "k");
+  ASSERT_EQ(get.status, OpStatus::kOk);
+  // Exactly one of the two acknowledged values survives; the other is gone
+  // without any error ever reaching a client.
+  EXPECT_TRUE(get.value == "from-side-a" || get.value == "from-side-b") << get.value;
+  EXPECT_EQ(get.value.find('|'), std::string::npos);
+}
+
+TEST(EkvSiblings, VectorClocksPreserveBothConcurrentWrites) {
+  Options options = RiakSiblingOptions();
+  options.write_quorum = 1;
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  ASSERT_EQ(cluster.Put(0, "k", "from-side-a").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Put(1, "k", "from-side-b").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(2));
+  auto get = cluster.Get(1, "k");
+  ASSERT_EQ(get.status, OpStatus::kOk);
+  EXPECT_EQ(get.value, "from-side-a|from-side-b") << "both siblings visible";
+  EXPECT_EQ(cluster.server(2).LocalSiblings("k").size(), 2u);
+}
+
+TEST(EkvSiblings, AWriteAfterReadingSiblingsSupersedesBoth) {
+  Options options = RiakSiblingOptions();
+  options.write_quorum = 1;
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  ASSERT_EQ(cluster.Put(0, "k", "a").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Put(1, "k", "b").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(2));
+  // The coordinator has seen both siblings; a new write's version vector
+  // dominates both, resolving the conflict.
+  cluster.client(1).set_contact(2);
+  ASSERT_EQ(cluster.Put(1, "k", "resolved").status, OpStatus::kOk);
+  cluster.Settle(sim::Seconds(1));
+  auto get = cluster.Get(0, "k", /*final_read=*/true);
+  EXPECT_EQ(get.value, "resolved");
+  EXPECT_EQ(cluster.server(1).LocalSiblings("k").size(), 1u);
+}
+
+TEST(EkvSiblings, CausallyOrderedWritesNeverCreateSiblings) {
+  Cluster cluster(MakeConfig(RiakSiblingOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  for (int i = 0; i < 4; ++i) {
+    cluster.client(0).set_contact(cluster.server_ids()[i % 3]);
+    ASSERT_EQ(cluster.Put(0, "k", "v" + std::to_string(i)).status, OpStatus::kOk);
+    cluster.Settle(sim::Milliseconds(100));
+  }
+  auto get = cluster.Get(1, "k", /*final_read=*/true);
+  EXPECT_EQ(get.value, "v3");
+  for (net::NodeId id : cluster.server_ids()) {
+    EXPECT_LE(cluster.server(id).LocalSiblings("k").size(), 1u) << "server " << id;
+  }
+}
+
+// --- quorum intersection: R + W > N vs R = W = 1 ---
+
+class EkvQuorumSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EkvQuorumSweep, OverlappingQuorumsNeverServeStaleSequentialReads) {
+  Options options = CorrectOptions();
+  options.write_quorum = 2;
+  options.read_quorum = 2;  // R + W = 4 > N = 3
+  Cluster cluster(MakeConfig(options, GetParam()));
+  cluster.Settle(sim::Milliseconds(200));
+  for (int i = 0; i < 4; ++i) {
+    cluster.client(0).set_contact(cluster.server_ids()[i % 3]);
+    ASSERT_EQ(cluster.Put(0, "k", "v" + std::to_string(i)).status, OpStatus::kOk);
+    cluster.client(1).set_contact(cluster.server_ids()[(i + 1) % 3]);
+    auto get = cluster.Get(1, "k");
+    ASSERT_EQ(get.status, OpStatus::kOk);
+    EXPECT_EQ(get.value, "v" + std::to_string(i)) << "R+W>N must intersect";
+  }
+  EXPECT_TRUE(check::CheckStaleReads(cluster.history()).empty())
+      << cluster.history().Dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EkvQuorumSweep, ::testing::Range<uint64_t>(1, 6),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+TEST(EkvQuorums, NonOverlappingQuorumsServeStaleReadsUnderPartition) {
+  Options options = CorrectOptions();
+  options.write_quorum = 1;
+  options.read_quorum = 1;  // R + W = 2 <= N = 3: no intersection guarantee
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Put(0, "k", "old").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(300));  // replicate everywhere
+  auto partition = cluster.partitioner().Complete({3}, {1, 2});
+  cluster.Settle(sim::Milliseconds(300));
+  // A new value lands on {1,2}; replica 3 still has the old one.
+  ASSERT_EQ(cluster.Put(0, "k", "new").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(50));  // the read strictly follows the write
+  cluster.client(1).set_contact(3);
+  auto get = cluster.Get(1, "k");
+  EXPECT_EQ(get.value, "old") << "an R=1 read at the stale replica";
+  EXPECT_FALSE(check::CheckStaleReads(cluster.history()).empty())
+      << "eventual consistency by design: stale reads are possible";
+  cluster.partitioner().Heal(partition);
+}
+
+// --- property sweep ---
+
+class EkvConvergenceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EkvConvergenceSweep, NoLossOrResurrectionWithTombstonesAndQuorums) {
+  Cluster cluster(MakeConfig(CorrectOptions(), GetParam()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Put(0, "a", "v1").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Put(0, "b", "v2").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Delete(0, "b").status, OpStatus::kOk);
+  const net::NodeId isolated =
+      cluster.server_ids()[GetParam() % cluster.server_ids().size()];
+  auto partition = cluster.partitioner().Complete(
+      {isolated}, net::Partitioner::Rest(cluster.server_ids(), {isolated}));
+  cluster.Settle(sim::Milliseconds(400));
+  // Ops continue on the majority side.
+  const net::NodeId majority_node = isolated == 1 ? 2 : 1;
+  cluster.client(1).set_contact(majority_node);
+  cluster.Put(1, "a", "v3");
+  cluster.Delete(1, "a");
+  cluster.Put(1, "a", "v4");
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(3));
+  auto read_a = cluster.Get(1, "a", /*final_read=*/true);
+  auto read_b = cluster.Get(1, "b", /*final_read=*/true);
+  EXPECT_EQ(read_a.value, "v4");
+  EXPECT_EQ(read_b.value, "");
+  auto& history = cluster.history();
+  EXPECT_TRUE(check::CheckDataLoss(history).empty()) << history.Dump();
+  EXPECT_TRUE(check::CheckReappearance(history).empty()) << history.Dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EkvConvergenceSweep, ::testing::Range<uint64_t>(1, 9),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace eventualkv

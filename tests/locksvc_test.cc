@@ -1,0 +1,268 @@
+// Scenario and property tests for the lock/semaphore/atomics service,
+// reproducing the Ignite/Terracotta failures NEAT found (Figure 5,
+// IGNITE-8881..8883, -9767, -9768) and showing the quorum-based fix.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "check/checkers.h"
+#include "systems/locksvc/cluster.h"
+
+namespace locksvc {
+namespace {
+
+using check::OpStatus;
+
+Cluster::Config MakeConfig(const Options& options, uint64_t seed = 1) {
+  Cluster::Config config;
+  config.options = options;
+  config.seed = seed;
+  return config;
+}
+
+TEST(LocksvcSteadyState, LockUnlockRoundTrips) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  EXPECT_EQ(cluster.Lock(0, "L").status, OpStatus::kOk);
+  EXPECT_EQ(cluster.Unlock(0, "L").status, OpStatus::kOk);
+}
+
+TEST(LocksvcSteadyState, HeldLockDeniesOtherClients) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Lock(0, "L").status, OpStatus::kOk);
+  cluster.client(1).set_contact(2);
+  EXPECT_EQ(cluster.Lock(1, "L").status, OpStatus::kFail);
+}
+
+TEST(LocksvcSteadyState, UnlockFreesForOtherClients) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Lock(0, "L").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Unlock(0, "L").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(100));  // release propagates
+  cluster.client(1).set_contact(2);
+  EXPECT_EQ(cluster.Lock(1, "L").status, OpStatus::kOk);
+}
+
+TEST(LocksvcSteadyState, ReleasingForeignLockFails) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Lock(0, "L").status, OpStatus::kOk);
+  EXPECT_EQ(cluster.Unlock(1, "L").status, OpStatus::kFail);
+}
+
+TEST(LocksvcSteadyState, SemaphoreHonorsCapacity) {
+  Cluster::Config config = MakeConfig(CorrectOptions());
+  config.num_clients = 3;
+  Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(200));
+  EXPECT_EQ(cluster.SemAcquire(0, "S", 2).status, OpStatus::kOk);
+  EXPECT_EQ(cluster.SemAcquire(1, "S", 2).status, OpStatus::kOk);
+  EXPECT_EQ(cluster.SemAcquire(2, "S", 2).status, OpStatus::kFail);
+  EXPECT_EQ(cluster.SemRelease(0, "S").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(100));
+  EXPECT_EQ(cluster.SemAcquire(2, "S", 2).status, OpStatus::kOk);
+}
+
+TEST(LocksvcSteadyState, CounterValuesAreUniqueAcrossCoordinators) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(3);
+  std::set<int64_t> values;
+  for (int i = 0; i < 3; ++i) {
+    auto a = cluster.Increment(0, "seq");
+    ASSERT_EQ(a.status, OpStatus::kOk);
+    values.insert(cluster.client(0).last_counter_value());
+    cluster.Settle(sim::Milliseconds(50));
+    auto b = cluster.Increment(1, "seq");
+    ASSERT_EQ(b.status, OpStatus::kOk);
+    values.insert(cluster.client(1).last_counter_value());
+    cluster.Settle(sim::Milliseconds(50));
+  }
+  EXPECT_EQ(values.size(), 6u) << "every granted value must be unique";
+}
+
+// --- Figure 5: semaphore/lock double granting under a complete partition ---
+
+TEST(LocksvcDoubleLocking, ViewShrinkingGrantsTheSameLockTwice) {
+  Cluster cluster(MakeConfig(IgniteOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  // Step 1: a complete partition isolates replica 1.
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(400));  // both sides shrink their views
+  EXPECT_EQ(cluster.server(1).view().size(), 1u);
+  EXPECT_EQ(cluster.server(2).view().size(), 2u);
+
+  // Step 2: clients on both sides acquire the same lock — and both succeed.
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  EXPECT_EQ(cluster.Lock(0, "L").status, OpStatus::kOk);
+  EXPECT_EQ(cluster.Lock(1, "L").status, OpStatus::kOk);
+
+  auto violations = check::CheckBrokenLocks(cluster.history());
+  ASSERT_EQ(violations.size(), 1u) << check::FormatViolations(violations);
+  EXPECT_EQ(violations[0].impact, "broken locks");
+
+  // The damage persists after the heal: each side kept its own holder.
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Milliseconds(500));
+  EXPECT_EQ(cluster.server(1).LockHolder("L"), 1);
+  EXPECT_EQ(cluster.server(2).LockHolder("L"), 2);
+}
+
+TEST(LocksvcDoubleLocking, MajorityQuorumPreventsIt) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(400));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  // The minority side cannot assemble a majority: its acquire fails.
+  EXPECT_NE(cluster.Lock(0, "L").status, OpStatus::kOk);
+  EXPECT_EQ(cluster.Lock(1, "L").status, OpStatus::kOk);
+  EXPECT_TRUE(check::CheckBrokenLocks(cluster.history()).empty());
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(LocksvcDoubleLocking, SemaphoreGrantedOnBothSides) {
+  Cluster cluster(MakeConfig(IgniteOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(400));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  EXPECT_EQ(cluster.SemAcquire(0, "S", 1).status, OpStatus::kOk);
+  EXPECT_EQ(cluster.SemAcquire(1, "S", 1).status, OpStatus::kOk);
+  auto violations = check::CheckSemaphore(cluster.history(), "S", 1);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].impact, "broken locks");
+  cluster.partitioner().Heal(partition);
+}
+
+// --- Semaphore corruption: reclaim of an unreachable client's permit ---
+
+TEST(LocksvcReclaim, HealedClientReleaseCorruptsSemaphore) {
+  Cluster cluster(MakeConfig(IgniteOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.SemAcquire(0, "S", 1).status, OpStatus::kOk);
+
+  // Partition the holding client away from the service. Its lease expires
+  // and the coordinator reclaims the permit.
+  const net::NodeId c1 = cluster.client(0).id();
+  auto partition = cluster.partitioner().Complete({c1}, {1, 2, 3});
+  cluster.Settle(sim::Milliseconds(800));
+  EXPECT_TRUE(cluster.server(1).SemaphoreHolders("S").empty()) << "permit was reclaimed";
+
+  // Heal; the unaware client releases a permit it no longer holds.
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Milliseconds(100));
+  EXPECT_EQ(cluster.SemRelease(0, "S").status, OpStatus::kFail);
+  EXPECT_TRUE(cluster.server(1).SemaphoreBroken("S"));
+}
+
+TEST(LocksvcReclaim, WithoutReclaimTheLeaseSurvivesThePartition) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.SemAcquire(0, "S", 1).status, OpStatus::kOk);
+  const net::NodeId c1 = cluster.client(0).id();
+  auto partition = cluster.partitioner().Complete({c1}, {1, 2, 3});
+  cluster.Settle(sim::Milliseconds(800));
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Milliseconds(100));
+  EXPECT_EQ(cluster.SemRelease(0, "S").status, OpStatus::kOk);
+  EXPECT_FALSE(cluster.server(1).SemaphoreBroken("S"));
+}
+
+// --- Broken atomics: duplicate counter values across the partition ---
+
+TEST(LocksvcAtomics, PartitionYieldsDuplicateSequenceValues) {
+  Cluster cluster(MakeConfig(IgniteOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Increment(0, "seq").status, OpStatus::kOk);  // seeds value 1 everywhere
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(400));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  ASSERT_EQ(cluster.Increment(0, "seq").status, OpStatus::kOk);
+  const int64_t minority_value = cluster.client(0).last_counter_value();
+  ASSERT_EQ(cluster.Increment(1, "seq").status, OpStatus::kOk);
+  const int64_t majority_value = cluster.client(1).last_counter_value();
+  EXPECT_EQ(minority_value, majority_value) << "both sides handed out the same value";
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(LocksvcAtomics, CheckerFlagsTheDuplicateAssignments) {
+  Cluster cluster(MakeConfig(IgniteOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Increment(0, "seq").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(400));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  cluster.Increment(0, "seq");
+  cluster.Increment(1, "seq");
+  auto violations = check::CheckCounterUniqueness(cluster.history());
+  ASSERT_EQ(violations.size(), 1u) << check::FormatViolations(violations);
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(LocksvcAtomics, MajorityQuorumKeepsValuesUnique) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(200));
+  ASSERT_EQ(cluster.Increment(0, "seq").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Milliseconds(400));
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  EXPECT_NE(cluster.Increment(0, "seq").status, OpStatus::kOk) << "minority must not assign";
+  EXPECT_EQ(cluster.Increment(1, "seq").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+}
+
+// --- property sweep: correct config grants each lock at most once, no
+// matter which replica is isolated and which backend enforces the fault ---
+
+class LocksvcSafetySweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, net::NodeId, bool>> {};
+
+TEST_P(LocksvcSafetySweep, NoDoubleGrantsUnderSingleNodeIsolation) {
+  const auto [seed, isolated, use_switch] = GetParam();
+  Cluster::Config config = MakeConfig(CorrectOptions(), seed);
+  config.use_switch_backend = use_switch;
+  Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(200));
+  auto partition = cluster.partitioner().Complete(
+      {isolated}, net::Partitioner::Rest({1, 2, 3}, {isolated}));
+  cluster.Settle(sim::Milliseconds(400));
+  cluster.client(0).set_contact(isolated);
+  cluster.client(1).set_contact(isolated == 1 ? 2 : 1);
+  cluster.Lock(0, "L");
+  cluster.Lock(1, "L");
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Milliseconds(400));
+  cluster.Lock(0, "L2");
+  cluster.Lock(1, "L2");
+  auto violations = check::CheckBrokenLocks(cluster.history());
+  EXPECT_TRUE(violations.empty()) << check::FormatViolations(violations)
+                                  << cluster.history().Dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LocksvcSafetySweep,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 5), ::testing::Values(1, 2, 3),
+                       ::testing::Bool()),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) + "_iso" +
+             std::to_string(std::get<1>(param_info.param)) +
+             (std::get<2>(param_info.param) ? "_switch" : "_firewall");
+    });
+
+}  // namespace
+}  // namespace locksvc

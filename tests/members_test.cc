@@ -1,0 +1,101 @@
+// Tests for the membership system, reproducing rabbitmq-server#1455: a
+// partition during peer discovery causes two clusters to form, and the
+// split persists after the heal (Finding 3: lasting damage).
+
+#include <gtest/gtest.h>
+
+#include "systems/members/membership.h"
+
+namespace members {
+namespace {
+
+Deployment::Config MakeConfig(const Options& options, uint64_t seed = 1) {
+  Deployment::Config config;
+  config.options = options;
+  config.seed = seed;
+  return config;
+}
+
+TEST(MembersSteadyState, AllNodesJoinOneCluster) {
+  Deployment deployment(MakeConfig(CorrectOptions()));
+  deployment.Settle(sim::Seconds(1));
+  EXPECT_EQ(deployment.DistinctClusters().size(), 1u);
+  for (net::NodeId id : deployment.node_ids()) {
+    EXPECT_TRUE(deployment.node(id).joined()) << "node " << id;
+    EXPECT_EQ(deployment.node(id).cluster_id(), "cluster-1");
+  }
+}
+
+TEST(MembersSteadyState, GossipSpreadsTheFullMemberList) {
+  Deployment deployment(MakeConfig(CorrectOptions()));
+  deployment.Settle(sim::Seconds(1));
+  for (net::NodeId id : deployment.node_ids()) {
+    EXPECT_EQ(deployment.node(id).members().size(), deployment.node_ids().size())
+        << "node " << id;
+  }
+}
+
+TEST(Members1455, PartitionDuringDiscoveryFormsTwoClusters) {
+  Deployment deployment(MakeConfig(RabbitMqOptions()));
+  // The partition exists from the very first discovery attempt.
+  auto partition = deployment.partitioner().Complete({3}, {1, 2});
+  deployment.Settle(sim::Seconds(1));
+  EXPECT_EQ(deployment.node(3).cluster_id(), "cluster-3") << "node 3 self-bootstrapped";
+  EXPECT_EQ(deployment.DistinctClusters().size(), 2u);
+
+  // The damage persists after the heal: the clusters never merge.
+  deployment.partitioner().Heal(partition);
+  deployment.Settle(sim::Seconds(2));
+  EXPECT_EQ(deployment.DistinctClusters().size(), 2u) << "lasting damage (Finding 3)";
+}
+
+TEST(Members1455, RetryingDiscoveryHealsWithThePartition) {
+  Deployment deployment(MakeConfig(CorrectOptions()));
+  auto partition = deployment.partitioner().Complete({3}, {1, 2});
+  deployment.Settle(sim::Seconds(1));
+  EXPECT_FALSE(deployment.node(3).joined()) << "node 3 keeps retrying, never bootstraps";
+  deployment.partitioner().Heal(partition);
+  deployment.Settle(sim::Seconds(1));
+  EXPECT_TRUE(deployment.node(3).joined());
+  EXPECT_EQ(deployment.DistinctClusters().size(), 1u);
+}
+
+TEST(Members1455, PartialPartitionSplitsTheJoiners) {
+  // Node 2 can reach the bootstrap node, node 3 cannot — a partial
+  // partition yields one real cluster plus an impostor.
+  Deployment deployment(MakeConfig(RabbitMqOptions()));
+  auto partition = deployment.partitioner().Partial({3}, {1});
+  deployment.Settle(sim::Seconds(1));
+  EXPECT_EQ(deployment.node(2).cluster_id(), "cluster-1");
+  // Node 3 reaches node 2; whether it joined via node 2 or self-bootstrapped
+  // depends on timing — but it must be in exactly one of those states.
+  EXPECT_TRUE(deployment.node(3).joined());
+  deployment.partitioner().Heal(partition);
+  deployment.Settle(sim::Seconds(1));
+  EXPECT_GE(deployment.DistinctClusters().size(), 1u);
+}
+
+class MembersSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MembersSweep, CorrectDiscoveryAlwaysConvergesToOneCluster) {
+  Deployment deployment(MakeConfig(CorrectOptions(), GetParam()));
+  const net::NodeId isolated =
+      deployment.node_ids()[GetParam() % deployment.node_ids().size()];
+  auto partition = deployment.partitioner().Complete(
+      {isolated}, net::Partitioner::Rest(deployment.node_ids(), {isolated}));
+  deployment.Settle(sim::Seconds(1));
+  deployment.partitioner().Heal(partition);
+  deployment.Settle(sim::Seconds(2));
+  EXPECT_EQ(deployment.DistinctClusters().size(), 1u) << "isolated node " << isolated;
+  for (net::NodeId id : deployment.node_ids()) {
+    EXPECT_TRUE(deployment.node(id).joined());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MembersSweep, ::testing::Range<uint64_t>(1, 7),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace members

@@ -1,0 +1,327 @@
+// Scenario tests for the replicated message queue, reproducing the ActiveMQ
+// failures NEAT found: double dequeueing under a complete partition
+// (AMQ-6978, Listing 2) and the cluster-wide hang under a partial partition
+// that spares the coordination service (AMQ-7064, Figure 6).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/checkers.h"
+#include "systems/mqueue/cluster.h"
+
+namespace mqueue {
+namespace {
+
+using check::OpStatus;
+
+Cluster::Config MakeConfig(const Options& options, uint64_t seed = 1) {
+  Cluster::Config config;
+  config.options = options;
+  config.seed = seed;
+  return config;
+}
+
+TEST(MqueueSteadyState, FirstBrokerBecomesMaster) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  EXPECT_EQ(cluster.MasterPerRegistry(), 1);
+  EXPECT_TRUE(cluster.broker(1).is_master());
+  EXPECT_FALSE(cluster.broker(2).is_master());
+}
+
+TEST(MqueueSteadyState, SendReceiveIsFifo) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Send(0, "q", "m1").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Send(0, "q", "m2").status, OpStatus::kOk);
+  auto r1 = cluster.Receive(1, "q");
+  auto r2 = cluster.Receive(1, "q");
+  EXPECT_EQ(r1.value, "m1");
+  EXPECT_EQ(r2.value, "m2");
+}
+
+TEST(MqueueSteadyState, ReceiveOnEmptyQueueReturnsEmpty) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  auto r = cluster.Receive(0, "q");
+  EXPECT_EQ(r.status, OpStatus::kOk);
+  EXPECT_EQ(r.value, "");
+}
+
+TEST(MqueueSteadyState, NonMasterRejectsClients) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(0).set_contact(2);
+  EXPECT_EQ(cluster.Send(0, "q", "m").status, OpStatus::kFail);
+}
+
+TEST(MqueueSteadyState, MessagesReplicateToSlaves) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Send(0, "q", "m1").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(200));
+  EXPECT_TRUE(cluster.broker(2).QueueContains("q", "m1"));
+  EXPECT_TRUE(cluster.broker(3).QueueContains("q", "m1"));
+}
+
+TEST(MqueueFailover, CrashedMasterIsReplacedAndMessagesSurvive) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Send(0, "q", "m1").status, OpStatus::kOk);
+  cluster.broker(1).Crash();
+  cluster.Settle(sim::Seconds(1));
+  const net::NodeId new_master = cluster.MasterPerRegistry();
+  ASSERT_NE(new_master, net::kInvalidNode);
+  EXPECT_NE(new_master, 1);
+  cluster.client(1).set_contact(new_master);
+  auto r = cluster.Receive(1, "q");
+  EXPECT_EQ(r.status, OpStatus::kOk);
+  EXPECT_EQ(r.value, "m1");
+}
+
+// --- Listing 2 / AMQ-6978: double dequeue under a complete partition ---
+
+TEST(MqueueDoubleDequeue, LocalDequeueCommitReproducesListing2) {
+  Cluster cluster(MakeConfig(ActiveMqOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Send(0, "q1", "msg1").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Send(0, "q1", "msg2").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(200));
+
+  // Isolate the master together with client1 from the rest of the cluster
+  // (including the coordination service).
+  const net::NodeId master = cluster.MasterPerRegistry();
+  ASSERT_EQ(master, 1);
+  const net::NodeId c1 = cluster.client(0).id();
+  net::Group minority{master, c1};
+  net::Group majority{2, 3, cluster.zk_id(), cluster.client(1).id()};
+  auto partition = cluster.partitioner().Complete(minority, majority);
+
+  // The isolated old master still serves its side: client1 pops msg1.
+  cluster.client(0).set_contact(master);
+  auto min_msg = cluster.Receive(0, "q1");
+  EXPECT_EQ(min_msg.status, OpStatus::kOk);
+  EXPECT_EQ(min_msg.value, "msg1");
+
+  // sleep(SLEEP_PERIOD): the registry expires the master's session and the
+  // majority elects a replacement — which still holds msg1.
+  cluster.Settle(sim::Seconds(1));
+  const net::NodeId new_master = cluster.MasterPerRegistry();
+  ASSERT_NE(new_master, net::kInvalidNode);
+  ASSERT_NE(new_master, master);
+  cluster.client(1).set_contact(new_master);
+  auto maj_msg = cluster.Receive(1, "q1");
+  EXPECT_EQ(maj_msg.status, OpStatus::kOk);
+  EXPECT_EQ(maj_msg.value, "msg1") << "the same message delivered twice";
+
+  auto violations = check::CheckDoubleDequeue(cluster.history());
+  ASSERT_EQ(violations.size(), 1u) << check::FormatViolations(violations);
+  EXPECT_EQ(violations[0].impact, "double dequeue");
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(MqueueDoubleDequeue, QuorumDequeuePreventsIt) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Send(0, "q1", "msg1").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Send(0, "q1", "msg2").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(200));
+  const net::NodeId c1 = cluster.client(0).id();
+  net::Group minority{1, c1};
+  net::Group majority{2, 3, cluster.zk_id(), cluster.client(1).id()};
+  auto partition = cluster.partitioner().Complete(minority, majority);
+
+  // The isolated master cannot commit the dequeue through a majority.
+  cluster.client(0).set_contact(1);
+  auto min_msg = cluster.Receive(0, "q1");
+  EXPECT_NE(min_msg.status, OpStatus::kOk);
+
+  cluster.Settle(sim::Seconds(1));
+  const net::NodeId new_master = cluster.MasterPerRegistry();
+  ASSERT_NE(new_master, net::kInvalidNode);
+  cluster.client(1).set_contact(new_master);
+  auto maj_msg = cluster.Receive(1, "q1");
+  EXPECT_EQ(maj_msg.value, "msg1");  // delivered exactly once
+  EXPECT_TRUE(check::CheckDoubleDequeue(cluster.history()).empty());
+  cluster.partitioner().Heal(partition);
+}
+
+// --- Figure 6 / AMQ-7064: system hang under a partial partition ---
+
+TEST(MqueueHang, PartialPartitionSparingRegistryBlocksEverything) {
+  Cluster cluster(MakeConfig(ActiveMqOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Send(0, "q", "m-before").status, OpStatus::kOk);
+
+  // Partial partition: master vs. replicas; everyone still reaches the
+  // registry and the clients.
+  auto partition = cluster.partitioner().Partial({1}, {2, 3});
+  cluster.Settle(sim::Seconds(1));
+
+  // The master cannot replicate: its operations fail...
+  auto send = cluster.Send(0, "q", "m-during");
+  EXPECT_NE(send.status, OpStatus::kOk);
+  // ...and the replicas never take over because the registry still sees the
+  // master's session: the whole system is stuck.
+  EXPECT_EQ(cluster.MasterPerRegistry(), 1);
+  cluster.client(1).set_contact(2);
+  EXPECT_EQ(cluster.Send(1, "q", "m-slave").status, OpStatus::kFail);
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(MqueueHang, ResigningMasterRestoresAvailability) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Send(0, "q", "m-before").status, OpStatus::kOk);
+  auto partition = cluster.partitioner().Partial({1}, {2, 3});
+  cluster.Settle(sim::Seconds(1));
+
+  // The isolated master resigned; a replica took over.
+  const net::NodeId new_master = cluster.MasterPerRegistry();
+  ASSERT_NE(new_master, net::kInvalidNode);
+  EXPECT_NE(new_master, 1);
+  cluster.client(1).set_contact(new_master);
+  EXPECT_EQ(cluster.Send(1, "q", "m-during").status, OpStatus::kOk);
+  auto r = cluster.Receive(1, "q");
+  EXPECT_EQ(r.value, "m-before");
+  cluster.partitioner().Heal(partition);
+}
+
+// --- KAFKA-6173 analog: a master cut off from the registry only ---
+
+TEST(MqueueZkFence, DisconnectedMasterKeepsServingWithoutALease) {
+  Cluster cluster(MakeConfig(ActiveMqOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.MasterPerRegistry(), 1);
+  // Cut only the master <-> registry link; brokers and clients still reach
+  // the master.
+  auto partition = cluster.partitioner().Partial({1}, {cluster.zk_id()});
+  cluster.Settle(sim::Seconds(1));
+  // The registry expired the session and a replica took over...
+  const net::NodeId new_master = cluster.MasterPerRegistry();
+  EXPECT_NE(new_master, 1);
+  EXPECT_NE(new_master, net::kInvalidNode);
+  // ...but the old master, with no lease check, still believes and serves.
+  EXPECT_EQ(cluster.SelfBelievedMasters().size(), 2u) << "split brain";
+  cluster.client(0).set_contact(1);
+  EXPECT_EQ(cluster.Send(0, "q", "m-via-stale-master").status, OpStatus::kOk)
+      << "the stale master accepted a request (KAFKA-6173)";
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(MqueueZkFence, LeaseCheckFencesTheDisconnectedMaster) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.MasterPerRegistry(), 1);
+  auto partition = cluster.partitioner().Partial({1}, {cluster.zk_id()});
+  cluster.Settle(sim::Seconds(1));
+  const net::NodeId new_master = cluster.MasterPerRegistry();
+  EXPECT_NE(new_master, 1);
+  // The old master's lease lapsed: it stops accepting requests even though
+  // it can still reach everything but the registry.
+  cluster.client(0).set_contact(1);
+  EXPECT_EQ(cluster.Send(0, "q", "m-via-stale-master").status, OpStatus::kFail);
+  if (new_master != net::kInvalidNode) {
+    cluster.client(1).set_contact(new_master);
+    EXPECT_EQ(cluster.Send(1, "q", "m-via-new-master").status, OpStatus::kOk);
+  }
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(MqueueFailover, FifoOrderSurvivesFailover) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(cluster.Send(0, "q", "m" + std::to_string(i)).status, OpStatus::kOk);
+  }
+  cluster.Settle(sim::Milliseconds(200));
+  cluster.broker(1).Crash();
+  cluster.Settle(sim::Seconds(1));
+  const net::NodeId new_master = cluster.MasterPerRegistry();
+  ASSERT_NE(new_master, net::kInvalidNode);
+  cluster.client(1).set_contact(new_master);
+  for (int i = 0; i < 5; ++i) {
+    auto r = cluster.Receive(1, "q");
+    ASSERT_EQ(r.status, OpStatus::kOk);
+    EXPECT_EQ(r.value, "m" + std::to_string(i)) << "FIFO order after failover";
+  }
+}
+
+// --- the central service itself fails ---
+
+TEST(MqueueRegistryCrash, UnfencedMasterRidesOutTheRegistryOutage) {
+  Cluster cluster(MakeConfig(ActiveMqOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Send(0, "q", "m1").status, OpStatus::kOk);
+  cluster.registry().Crash();
+  cluster.Settle(sim::Seconds(1));
+  // Availability-first: with no lease check, the master keeps serving
+  // through the outage (and nobody else can be elected anyway).
+  EXPECT_EQ(cluster.Send(0, "q", "m2").status, OpStatus::kOk);
+}
+
+TEST(MqueueRegistryCrash, FencedMasterStopsWithoutItsLease) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Send(0, "q", "m1").status, OpStatus::kOk);
+  cluster.registry().Crash();
+  cluster.Settle(sim::Seconds(1));
+  // Consistency-first: the lease lapsed, the master fences itself. The
+  // trade-off is total unavailability while the registry is down...
+  EXPECT_EQ(cluster.Send(0, "q", "m2").status, OpStatus::kFail);
+  // ...but service resumes once the registry returns.
+  cluster.registry().Restart();
+  cluster.Settle(sim::Seconds(1));
+  const net::NodeId master = cluster.MasterPerRegistry();
+  ASSERT_NE(master, net::kInvalidNode);
+  cluster.client(0).set_contact(master);
+  EXPECT_EQ(cluster.Send(0, "q", "m3").status, OpStatus::kOk);
+}
+
+// --- property sweep: correct config delivers each message at most once and
+// loses no acknowledged message across partition/heal cycles ---
+
+class MqueueSafetySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MqueueSafetySweep, ExactlyOnceAcrossPartitionHeal) {
+  Cluster::Config config = MakeConfig(CorrectOptions(), GetParam());
+  Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(300));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(cluster.Send(0, "q", "m" + std::to_string(i)).status, OpStatus::kOk);
+  }
+  cluster.Settle(sim::Milliseconds(200));
+  const net::NodeId isolated = static_cast<net::NodeId>(1 + (GetParam() % 3));
+  auto partition = cluster.partitioner().Complete(
+      {isolated}, net::Partitioner::Rest({1, 2, 3, cluster.zk_id()}, {isolated}));
+  cluster.Settle(sim::Seconds(1));
+  // Dequeue wherever the registry says the master is.
+  const net::NodeId master = cluster.MasterPerRegistry();
+  if (master != net::kInvalidNode) {
+    cluster.client(1).set_contact(master);
+    cluster.Receive(1, "q");
+  }
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+  const net::NodeId final_master = cluster.MasterPerRegistry();
+  ASSERT_NE(final_master, net::kInvalidNode);
+  cluster.client(1).set_contact(final_master);
+  for (int i = 0; i < 6; ++i) {
+    auto r = cluster.Receive(1, "q", /*final_drain=*/true);
+    if (r.status == OpStatus::kOk && r.value.empty()) {
+      break;
+    }
+  }
+  auto& history = cluster.history();
+  EXPECT_TRUE(check::CheckDoubleDequeue(history).empty()) << history.Dump();
+  EXPECT_TRUE(check::CheckLostMessages(history).empty()) << history.Dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MqueueSafetySweep, ::testing::Range<uint64_t>(1, 9),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace mqueue

@@ -1,0 +1,305 @@
+// Tests for the NEAT framework: the test environment (partition + crash
+// API, global op order), the test-case generator with the Chapter-5 pruning
+// rules, the ISystem adapters, and the executor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "neat/adapters.h"
+#include "neat/env.h"
+#include "neat/testgen.h"
+#include "neat/trace_report.h"
+
+namespace neat {
+namespace {
+
+TEST(TestEnvTest, RestUsesTheRegisteredUniverse) {
+  pbkv::Cluster::Config config;
+  PbkvSystem system(config);
+  TestEnv& env = system.Env();
+  // Universe: 3 servers + 2 clients.
+  net::Group rest = env.Rest({1, 2});
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], 3);
+}
+
+TEST(TestEnvTest, CrashAndRestartThroughTheEnv) {
+  pbkv::Cluster::Config config;
+  PbkvSystem system(config);
+  TestEnv& env = system.Env();
+  env.Sleep(sim::Milliseconds(300));
+  ASSERT_TRUE(system.GetStatus());
+  env.Crash({1});
+  EXPECT_TRUE(env.FindProcess(1)->crashed());
+  env.Sleep(sim::Seconds(2));
+  // The remaining majority elected a replacement primary.
+  EXPECT_TRUE(system.GetStatus());
+  env.Restart({1});
+  EXPECT_FALSE(env.FindProcess(1)->crashed());
+}
+
+TEST(TestEnvTest, ShutdownCrashesEveryServer) {
+  pbkv::Cluster::Config config;
+  PbkvSystem system(config);
+  system.Env().Sleep(sim::Milliseconds(300));
+  system.Shutdown();
+  for (net::NodeId node : system.Servers()) {
+    EXPECT_TRUE(system.Env().FindProcess(node)->crashed());
+  }
+  EXPECT_FALSE(system.GetStatus());
+}
+
+TEST(TestEnvTest, PartitionApiMatchesThePaper) {
+  pbkv::Cluster::Config config;
+  PbkvSystem system(config);
+  TestEnv& env = system.Env();
+  net::Partition p = env.Partial({1}, {2});
+  EXPECT_FALSE(env.backend().Allows(1, 2));
+  EXPECT_TRUE(env.backend().Allows(1, 3));
+  env.Heal(p);
+  EXPECT_TRUE(env.backend().Allows(1, 2));
+}
+
+TEST(TestEnvTest, AwaitRunsUntilPredicate) {
+  pbkv::Cluster::Config config;
+  PbkvSystem system(config);
+  TestEnv& env = system.Env();
+  const bool ok =
+      env.Await([&]() { return env.simulator().Now() >= sim::Milliseconds(100); });
+  EXPECT_TRUE(ok);
+}
+
+// --- test-case generation ---
+
+TEST(TestGen, UnprunedCountIsAlphabetPower) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const uint64_t n = gen.Instances().size();
+  EXPECT_EQ(gen.UnprunedCount(1), n);
+  EXPECT_EQ(gen.UnprunedCount(3), n * n * n);
+}
+
+TEST(TestGen, NoPruningEnumeratesEverything) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  auto cases = gen.Enumerate(2, NoPruning());
+  EXPECT_EQ(cases.size(), gen.UnprunedCount(2));
+}
+
+TEST(TestGen, PartitionFirstForcesTheFaultUpFront) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  PruningRules rules;
+  rules.partition_first = true;
+  for (const TestCase& test_case : gen.Enumerate(3, rules)) {
+    ASSERT_FALSE(test_case.empty());
+    EXPECT_EQ(test_case.front().kind, EventKind::kPartition)
+        << FormatTestCase(test_case);
+  }
+}
+
+TEST(TestGen, NaturalOrderForbidsReadBeforeWrite) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  PruningRules rules;
+  rules.natural_order = true;
+  for (const TestCase& test_case : gen.Enumerate(3, rules)) {
+    bool wrote = false;
+    for (const TestEvent& event : test_case) {
+      if (event.kind == EventKind::kWrite) {
+        wrote = true;
+      }
+      if (event.kind == EventKind::kRead || event.kind == EventKind::kDelete) {
+        EXPECT_TRUE(wrote) << FormatTestCase(test_case);
+      }
+    }
+  }
+}
+
+TEST(TestGen, SinglePartitionRuleAllowsAtMostOneFault) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  PruningRules rules;
+  rules.single_partition = true;
+  for (const TestCase& test_case : gen.Enumerate(3, rules)) {
+    int partitions = 0;
+    for (const TestEvent& event : test_case) {
+      if (event.kind == EventKind::kPartition) {
+        ++partitions;
+      }
+    }
+    EXPECT_LE(partitions, 1) << FormatTestCase(test_case);
+  }
+}
+
+TEST(TestGen, PaperPruningShrinksTheSpaceDramatically) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const auto pruned = gen.EnumerateUpTo(4, PaperPruning());
+  uint64_t unpruned = 0;
+  for (int len = 1; len <= 4; ++len) {
+    unpruned += gen.UnprunedCount(len);
+  }
+  EXPECT_LT(pruned.size() * 10, unpruned)
+      << "pruning should remove at least 90% of the space";
+  EXPECT_FALSE(pruned.empty());
+}
+
+TEST(TestGen, EventDebugStringsAreDescriptive) {
+  TestEvent partition;
+  partition.kind = EventKind::kPartition;
+  partition.partition = PartitionKind::kPartial;
+  partition.target = IsolationTarget::kLeader;
+  EXPECT_EQ(partition.DebugString(), "partition(partial,leader)");
+  TestEvent write;
+  write.kind = EventKind::kWrite;
+  write.side = Side::kMinority;
+  EXPECT_EQ(write.DebugString(), "write(minority)");
+}
+
+// --- executor ---
+
+TestCase DirtyReadCase() {
+  // partition(complete, leader) -> write(minority) -> read(minority):
+  // the Figure 2 manifestation sequence.
+  TestEvent partition;
+  partition.kind = EventKind::kPartition;
+  partition.partition = PartitionKind::kComplete;
+  partition.target = IsolationTarget::kLeader;
+  TestEvent write;
+  write.kind = EventKind::kWrite;
+  write.side = Side::kMinority;
+  TestEvent read;
+  read.kind = EventKind::kRead;
+  read.side = Side::kMinority;
+  return TestCase{partition, write, read};
+}
+
+TEST(Executor, FindsTheDirtyReadInTheFlawedSystem) {
+  auto result = RunPbkvTestCase(pbkv::VoltDbOptions(), DirtyReadCase(), /*seed=*/1);
+  EXPECT_TRUE(result.found_failure) << result.trace;
+  bool has_dirty = false;
+  for (const auto& violation : result.violations) {
+    if (violation.impact == "dirty read") {
+      has_dirty = true;
+    }
+  }
+  EXPECT_TRUE(has_dirty);
+}
+
+TEST(Executor, CleanOnTheCorrectedSystem) {
+  auto result = RunPbkvTestCase(pbkv::CorrectOptions(), DirtyReadCase(), /*seed=*/1);
+  EXPECT_FALSE(result.found_failure) << check::FormatViolations(result.violations);
+}
+
+TEST(Executor, PrunedSuiteFindsTheSeededBugs) {
+  // Run the whole paper-pruned suite (3-event cases) against the flawed
+  // configurations; it must expose both seeded bugs.
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  auto suite = gen.EnumerateUpTo(3, PaperPruning());
+  int voltdb_failures = 0;
+  int correct_failures = 0;
+  for (const TestCase& test_case : suite) {
+    if (RunPbkvTestCase(pbkv::VoltDbOptions(), test_case, 1).found_failure) {
+      ++voltdb_failures;
+    }
+    if (RunPbkvTestCase(pbkv::CorrectOptions(), test_case, 1).found_failure) {
+      ++correct_failures;
+    }
+  }
+  EXPECT_GT(voltdb_failures, 0) << "the suite must catch the VoltDB-style dirty read";
+  EXPECT_EQ(correct_failures, 0) << "the corrected system must pass the whole suite";
+}
+
+TEST(Executor, LocksvcSuiteExposesDoubleLocking) {
+  TestCaseGenerator::Alphabet alphabet;
+  alphabet.client_events = {EventKind::kLock, EventKind::kUnlock};
+  TestCaseGenerator gen(alphabet);
+  auto suite = gen.EnumerateUpTo(3, PaperPruning());
+  int flawed = 0;
+  int fixed = 0;
+  for (const TestCase& test_case : suite) {
+    if (RunLocksvcTestCase(locksvc::IgniteOptions(), test_case, 1).found_failure) {
+      ++flawed;
+    }
+    if (RunLocksvcTestCase(locksvc::CorrectOptions(), test_case, 1).found_failure) {
+      ++fixed;
+    }
+  }
+  EXPECT_GT(flawed, 0) << "the suite must expose the Ignite double locking";
+  EXPECT_EQ(fixed, 0);
+}
+
+TEST(TraceReport, SummarizesDropsAndLeadership) {
+  sim::TraceLog log;
+  log.Append(sim::Milliseconds(1), "net", "drop", "1->2 pbkv.Replicate (partitioned)");
+  log.Append(sim::Milliseconds(2), "net", "drop", "1->2 pbkv.Replicate (partitioned)");
+  log.Append(sim::Milliseconds(3), "net", "drop", "3->1 Heartbeat (partitioned)");
+  log.Append(sim::Milliseconds(4), "pbkv.n2", "election-start", "term=2");
+  log.Append(sim::Milliseconds(5), "pbkv.n2", "elected", "term=2");
+  log.Append(sim::Milliseconds(6), "pbkv.n1", "step-down", "lost majority");
+  const TraceReport report = Summarize(log);
+  EXPECT_EQ(report.total_records, 6u);
+  EXPECT_EQ(report.drops_per_link.at("1->2"), 2u);
+  EXPECT_EQ(report.drops_per_link.at("3->1"), 1u);
+  EXPECT_EQ(report.leadership_events.size(), 3u);
+  const std::string text = FormatReport(report);
+  EXPECT_NE(text.find("3 messages dropped on 2 links"), std::string::npos);
+  EXPECT_NE(text.find("worst: 1->2 x2"), std::string::npos);
+  EXPECT_NE(text.find("elected"), std::string::npos);
+}
+
+TEST(TraceReport, NarratesARealFailureRun) {
+  pbkv::Cluster::Config config;
+  config.options = pbkv::VoltDbOptions();
+  PbkvSystem system(config);
+  TestEnv& env = system.Env();
+  env.Sleep(sim::Milliseconds(500));
+  net::Partition part = env.Complete({1}, {2, 3});
+  env.Sleep(sim::Seconds(2));
+  env.Heal(part);
+  env.Sleep(sim::Seconds(1));
+  const TraceReport report = Summarize(env.simulator().Trace());
+  EXPECT_GT(report.drops_per_link.size(), 0u) << "the partition dropped traffic";
+  EXPECT_GE(report.event_counts.at("elected"), 1u) << "the majority elected a new leader";
+  EXPECT_GE(report.event_counts.at("step-down"), 1u) << "the old leader stepped down";
+}
+
+TEST(Adapters, EverySystemReportsHealthyAtSteadyState) {
+  {
+    PbkvSystem system(pbkv::Cluster::Config{});
+    system.Env().Sleep(sim::Milliseconds(500));
+    EXPECT_TRUE(system.GetStatus());
+    EXPECT_EQ(system.Name(), "pbkv");
+  }
+  {
+    raftkv::Cluster::Config config;
+    config.num_servers = 3;
+    RaftKvSystem system(config);
+    system.Env().Sleep(sim::Seconds(2));
+    EXPECT_TRUE(system.GetStatus());
+  }
+  {
+    LocksvcSystem system(locksvc::Cluster::Config{});
+    system.Env().Sleep(sim::Milliseconds(300));
+    EXPECT_TRUE(system.GetStatus());
+  }
+  {
+    MqueueSystem system(mqueue::Cluster::Config{});
+    system.Env().Sleep(sim::Milliseconds(500));
+    EXPECT_TRUE(system.GetStatus());
+  }
+  {
+    SchedSystem system(sched::Cluster::Config{});
+    system.Env().Sleep(sim::Milliseconds(300));
+    EXPECT_TRUE(system.GetStatus());
+    system.Shutdown();
+    EXPECT_FALSE(system.GetStatus());
+  }
+}
+
+}  // namespace
+}  // namespace neat

@@ -1,0 +1,147 @@
+// Randomized nemesis tests: Jepsen-style runs (random partitions injected
+// under a random workload, then healed) against the strongly consistent
+// systems, checked for linearizability — plus determinism properties of the
+// whole simulation stack (identical seeds must yield identical executions,
+// which is what makes every reproduction in this repository replayable).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/checkers.h"
+#include "check/linearizability.h"
+#include "sim/rng.h"
+#include "systems/pbkv/cluster.h"
+#include "systems/raftkv/cluster.h"
+
+namespace {
+
+// --- determinism ---
+
+std::string RunPbkvScript(uint64_t seed) {
+  pbkv::Cluster::Config config;
+  config.seed = seed;
+  pbkv::Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(400));
+  cluster.Put(0, "k", "v1");
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Seconds(1));
+  cluster.client(1).set_contact(2);
+  cluster.Put(1, "k", "v2");
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+  cluster.Get(1, "k", /*final_read=*/true);
+  return cluster.simulator().Trace().Dump() + "\n#events=" +
+         std::to_string(cluster.simulator().events_executed()) + " sent=" +
+         std::to_string(cluster.network().messages_sent()) + " dropped=" +
+         std::to_string(cluster.network().messages_dropped());
+}
+
+TEST(Determinism, IdenticalSeedsYieldIdenticalExecutions) {
+  EXPECT_EQ(RunPbkvScript(42), RunPbkvScript(42));
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  // Latency jitter and election backoffs depend on the seed, so the traces
+  // should differ (the histories may still agree).
+  EXPECT_NE(RunPbkvScript(1), RunPbkvScript(2));
+}
+
+// --- randomized nemesis against Raft ---
+
+struct NemesisRun {
+  check::LinearizabilityResult linearizability;
+  size_t dirty_reads = 0;
+  int acked_ops = 0;
+  std::string history_dump;
+  // Election safety (Raft Figure 3 property): term -> distinct leaders.
+  std::map<std::string, std::set<std::string>> leaders_per_term;
+};
+
+NemesisRun RunRaftNemesis(uint64_t seed, int cycles) {
+  raftkv::Cluster::Config config;
+  config.num_servers = 5;
+  config.seed = seed;
+  raftkv::Cluster cluster(config);
+  sim::Rng nemesis(seed * 7919 + 13);
+  cluster.WaitForLeader();
+  cluster.Settle(sim::Milliseconds(300));
+
+  int value = 0;
+  NemesisRun run;
+  const std::vector<std::string> keys = {"k0", "k1", "k2"};
+  auto random_op = [&](int client) {
+    const std::string key = keys[nemesis.NextBelow(keys.size())];
+    cluster.client(client).set_contact(
+        cluster.server_ids()[nemesis.NextBelow(cluster.server_ids().size())]);
+    cluster.client(client).set_op_timeout(sim::Milliseconds(900));
+    check::Operation op;
+    if (nemesis.NextBool(0.6)) {
+      op = cluster.Put(client, key, "v" + std::to_string(++value));
+    } else {
+      op = cluster.Get(client, key);
+    }
+    if (op.status == check::OpStatus::kOk) {
+      ++run.acked_ops;
+    }
+  };
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    random_op(0);
+    random_op(1);
+    // Partition a random subset (1 or 2 nodes) from the rest.
+    net::Group isolated;
+    isolated.push_back(
+        cluster.server_ids()[nemesis.NextBelow(cluster.server_ids().size())]);
+    if (nemesis.NextBool(0.5)) {
+      net::NodeId second =
+          cluster.server_ids()[nemesis.NextBelow(cluster.server_ids().size())];
+      if (second != isolated.front()) {
+        isolated.push_back(second);
+      }
+    }
+    auto partition = cluster.partitioner().Complete(
+        isolated, net::Partitioner::Rest(cluster.server_ids(), isolated));
+    random_op(0);
+    cluster.Settle(sim::Seconds(1));
+    random_op(1);
+    cluster.partitioner().Heal(partition);
+    cluster.Settle(sim::Seconds(1));
+  }
+  for (const std::string& key : keys) {
+    cluster.client(0).set_contact(cluster.server_ids().front());
+    cluster.Get(0, key, /*final_read=*/true);
+  }
+  run.linearizability = check::CheckLinearizable(cluster.history());
+  run.dirty_reads = check::CheckDirtyReads(cluster.history()).size();
+  run.history_dump = cluster.history().Dump();
+  for (const sim::TraceRecord& record : cluster.simulator().Trace().records()) {
+    if (record.event == "elected") {
+      run.leaders_per_term[record.detail].insert(record.component);
+    }
+  }
+  return run;
+}
+
+class RaftNemesisSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RaftNemesisSweep, RandomPartitionsNeverBreakLinearizability) {
+  const NemesisRun run = RunRaftNemesis(GetParam(), /*cycles=*/3);
+  EXPECT_TRUE(run.linearizability.linearizable)
+      << run.linearizability.reason << "\n" << run.history_dump;
+  EXPECT_EQ(run.dirty_reads, 0u);
+  EXPECT_GT(run.acked_ops, 0) << "the nemesis should not starve the workload entirely";
+  for (const auto& [term, leaders] : run.leaders_per_term) {
+    EXPECT_EQ(leaders.size(), 1u) << "election safety violated in " << term;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaftNemesisSweep, ::testing::Range<uint64_t>(1, 13),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace

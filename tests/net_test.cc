@@ -1,0 +1,364 @@
+// Unit tests for the network, the partition backends, and the partition API.
+// The backend tests run against both SwitchPartitioner (OpenFlow analog) and
+// FirewallPartitioner (iptables analog) via a parameterized suite, verifying
+// that NEAT's two implementations enforce identical semantics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/network.h"
+#include "net/partition.h"
+#include "sim/simulator.h"
+
+namespace net {
+namespace {
+
+struct Ping : public Message {
+  explicit Ping(int seq_in = 0) : seq(seq_in) {}
+  std::string TypeName() const override { return "Ping"; }
+  int seq;
+};
+
+std::unique_ptr<PartitionBackend> MakeBackend(const std::string& kind) {
+  if (kind == "switch") {
+    return std::make_unique<SwitchPartitioner>();
+  }
+  return std::make_unique<FirewallPartitioner>();
+}
+
+class BackendTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { backend_ = MakeBackend(GetParam()); }
+  std::unique_ptr<PartitionBackend> backend_;
+};
+
+TEST_P(BackendTest, DefaultAllowsEverything) {
+  EXPECT_TRUE(backend_->Allows(1, 2));
+  EXPECT_TRUE(backend_->Allows(2, 1));
+  EXPECT_TRUE(backend_->Allows(5, 9));
+}
+
+TEST_P(BackendTest, BlockIsDirectional) {
+  backend_->Block({1}, {2});
+  EXPECT_FALSE(backend_->Allows(1, 2));
+  EXPECT_TRUE(backend_->Allows(2, 1));
+}
+
+TEST_P(BackendTest, BlockGroups) {
+  backend_->Block({1, 2}, {3, 4});
+  EXPECT_FALSE(backend_->Allows(1, 3));
+  EXPECT_FALSE(backend_->Allows(2, 4));
+  EXPECT_TRUE(backend_->Allows(3, 1));
+  EXPECT_TRUE(backend_->Allows(1, 2));
+  EXPECT_TRUE(backend_->Allows(5, 3));
+}
+
+TEST_P(BackendTest, UnblockRestoresConnectivity) {
+  RuleId rule = backend_->Block({1}, {2});
+  EXPECT_FALSE(backend_->Allows(1, 2));
+  EXPECT_TRUE(backend_->Unblock(rule));
+  EXPECT_TRUE(backend_->Allows(1, 2));
+  EXPECT_FALSE(backend_->Unblock(rule));
+}
+
+TEST_P(BackendTest, OverlappingRulesBothMustBeRemoved) {
+  RuleId a = backend_->Block({1}, {2});
+  RuleId b = backend_->Block({1, 3}, {2, 4});
+  backend_->Unblock(a);
+  EXPECT_FALSE(backend_->Allows(1, 2));  // still blocked by rule b
+  backend_->Unblock(b);
+  EXPECT_TRUE(backend_->Allows(1, 2));
+}
+
+TEST_P(BackendTest, RuleCountTracksInstalls) {
+  EXPECT_EQ(backend_->rule_count(), 0u);
+  RuleId a = backend_->Block({1}, {2});
+  backend_->Block({3}, {4});
+  EXPECT_EQ(backend_->rule_count(), 2u);
+  backend_->Unblock(a);
+  EXPECT_EQ(backend_->rule_count(), 1u);
+}
+
+TEST_P(BackendTest, BackendsAgreeOnRandomRuleSets) {
+  // Differential test: both backends must give identical verdicts after the
+  // same sequence of installs/removals.
+  auto other = MakeBackend(GetParam() == "switch" ? "firewall" : "switch");
+  sim::Rng rng(99);
+  std::vector<std::pair<RuleId, RuleId>> rules;
+  for (int step = 0; step < 200; ++step) {
+    if (rules.empty() || rng.NextBool(0.6)) {
+      Group srcs;
+      Group dsts;
+      for (int i = 0; i < 3; ++i) {
+        srcs.push_back(static_cast<NodeId>(rng.NextBelow(6)));
+        dsts.push_back(static_cast<NodeId>(rng.NextBelow(6)));
+      }
+      rules.emplace_back(backend_->Block(srcs, dsts), other->Block(srcs, dsts));
+    } else {
+      const size_t pick = rng.NextBelow(rules.size());
+      backend_->Unblock(rules[pick].first);
+      other->Unblock(rules[pick].second);
+      rules.erase(rules.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    for (NodeId s = 0; s < 6; ++s) {
+      for (NodeId d = 0; d < 6; ++d) {
+        ASSERT_EQ(backend_->Allows(s, d), other->Allows(s, d))
+            << "step " << step << " link " << s << "->" << d;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest, ::testing::Values("switch", "firewall"),
+                         [](const auto& param_info) { return param_info.param; });
+
+class PartitionerTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    backend_ = MakeBackend(GetParam());
+    partitioner_ = std::make_unique<Partitioner>(backend_.get());
+  }
+  std::unique_ptr<PartitionBackend> backend_;
+  std::unique_ptr<Partitioner> partitioner_;
+};
+
+TEST_P(PartitionerTest, CompletePartitionCutsBothDirections) {
+  Partition p = partitioner_->Complete({1, 2}, {3, 4, 5});
+  EXPECT_FALSE(backend_->Allows(1, 3));
+  EXPECT_FALSE(backend_->Allows(3, 1));
+  EXPECT_FALSE(backend_->Allows(2, 5));
+  EXPECT_TRUE(backend_->Allows(1, 2));
+  EXPECT_TRUE(backend_->Allows(3, 4));
+  partitioner_->Heal(p);
+  EXPECT_TRUE(backend_->Allows(1, 3));
+}
+
+TEST_P(PartitionerTest, PartialPartitionLeavesThirdGroupConnected) {
+  // Figure 1b: groups 1 and 2 are cut; group 3 reaches both.
+  Partition p = partitioner_->Partial({1}, {2});
+  EXPECT_FALSE(backend_->Allows(1, 2));
+  EXPECT_FALSE(backend_->Allows(2, 1));
+  EXPECT_TRUE(backend_->Allows(1, 3));
+  EXPECT_TRUE(backend_->Allows(3, 1));
+  EXPECT_TRUE(backend_->Allows(2, 3));
+  EXPECT_TRUE(backend_->Allows(3, 2));
+  partitioner_->Heal(p);
+  EXPECT_TRUE(backend_->Allows(1, 2));
+}
+
+TEST_P(PartitionerTest, SimplexPartitionIsOneWay) {
+  // Figure 1c: traffic flows src -> dst only.
+  Partition p = partitioner_->Simplex({1}, {2});
+  EXPECT_TRUE(backend_->Allows(1, 2));
+  EXPECT_FALSE(backend_->Allows(2, 1));
+  partitioner_->Heal(p);
+  EXPECT_TRUE(backend_->Allows(2, 1));
+}
+
+TEST_P(PartitionerTest, HealIsIdempotent) {
+  Partition p = partitioner_->Complete({1}, {2});
+  partitioner_->Heal(p);
+  partitioner_->Heal(p);
+  EXPECT_TRUE(backend_->Allows(1, 2));
+  EXPECT_EQ(backend_->rule_count(), 0u);
+}
+
+TEST_P(PartitionerTest, OverlappingPartitionsHealIndependently) {
+  Partition p1 = partitioner_->Complete({1}, {2, 3});
+  Partition p2 = partitioner_->Complete({1, 2}, {3});
+  partitioner_->Heal(p1);
+  EXPECT_TRUE(backend_->Allows(1, 2));
+  EXPECT_FALSE(backend_->Allows(1, 3));  // still cut by p2
+  partitioner_->Heal(p2);
+  EXPECT_TRUE(backend_->Allows(1, 3));
+}
+
+TEST_P(PartitionerTest, RestReturnsComplement) {
+  Group universe{1, 2, 3, 4, 5};
+  EXPECT_EQ(Partitioner::Rest(universe, {2, 4}), (Group{1, 3, 5}));
+  EXPECT_EQ(Partitioner::Rest(universe, {}), universe);
+  EXPECT_EQ(Partitioner::Rest(universe, universe), Group{});
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PartitionerTest, ::testing::Values("switch", "firewall"),
+                         [](const auto& param_info) { return param_info.param; });
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : simulator_(1), network_(&simulator_, &backend_) {
+    network_.Register(1, [this](const Envelope& e) { received_by_1_.push_back(e); });
+    network_.Register(2, [this](const Envelope& e) { received_by_2_.push_back(e); });
+  }
+  sim::Simulator simulator_;
+  SwitchPartitioner backend_;
+  Network network_;
+  std::vector<Envelope> received_by_1_;
+  std::vector<Envelope> received_by_2_;
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  network_.set_latency({sim::Milliseconds(1), 0});
+  network_.SendNew<Ping>(1, 2, 7);
+  EXPECT_TRUE(received_by_2_.empty());
+  simulator_.RunUntilIdle();
+  ASSERT_EQ(received_by_2_.size(), 1u);
+  EXPECT_EQ(received_by_2_[0].src, 1);
+  EXPECT_EQ(simulator_.Now(), sim::Milliseconds(1));
+  auto* ping = dynamic_cast<const Ping*>(received_by_2_[0].msg.get());
+  ASSERT_NE(ping, nullptr);
+  EXPECT_EQ(ping->seq, 7);
+}
+
+TEST_F(NetworkTest, DropsWhenPartitionedAtSend) {
+  backend_.Block({1}, {2});
+  network_.SendNew<Ping>(1, 2);
+  simulator_.RunUntilIdle();
+  EXPECT_TRUE(received_by_2_.empty());
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, DropsInFlightWhenPartitionInstalledBeforeDelivery) {
+  network_.set_latency({sim::Milliseconds(10), 0});
+  network_.SendNew<Ping>(1, 2);
+  simulator_.Schedule(sim::Milliseconds(1), [this]() { backend_.Block({1}, {2}); });
+  simulator_.RunUntilIdle();
+  EXPECT_TRUE(received_by_2_.empty());
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, DropsToUnregisteredNode) {
+  network_.SendNew<Ping>(1, 99);
+  simulator_.RunUntilIdle();
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, FlakyLinkDropsProbabilistically) {
+  network_.SetLinkLoss(1, 2, 1.0);
+  network_.SendNew<Ping>(1, 2);
+  simulator_.RunUntilIdle();
+  EXPECT_TRUE(received_by_2_.empty());
+  network_.SetLinkLoss(1, 2, 0.0);
+  network_.SendNew<Ping>(1, 2);
+  simulator_.RunUntilIdle();
+  EXPECT_EQ(received_by_2_.size(), 1u);
+}
+
+TEST_F(NetworkTest, CountsDeliveries) {
+  network_.SendNew<Ping>(1, 2);
+  network_.SendNew<Ping>(2, 1);
+  simulator_.RunUntilIdle();
+  EXPECT_EQ(network_.messages_sent(), 2u);
+  EXPECT_EQ(network_.messages_delivered(), 2u);
+  EXPECT_EQ(network_.messages_dropped(), 0u);
+}
+
+TEST_F(NetworkTest, UniverseListsRegisteredNodes) {
+  EXPECT_EQ(network_.Universe(), (Group{1, 2}));
+}
+
+TEST_F(NetworkTest, DropTraceNamesThePartitionedLink) {
+  backend_.Block({1}, {2});
+  network_.SendNew<Ping>(1, 2);
+  simulator_.RunUntilIdle();
+  auto drops = simulator_.Trace().Filter("net");
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].event, "drop");
+  EXPECT_NE(drops[0].detail.find("1->2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace net
+
+namespace net_property {
+namespace {
+
+// Property: with a static partition in place for the whole run, no message
+// ever crosses a cut link, in either backend, regardless of traffic shape.
+TEST(NetworkProperty, NothingCrossesAStaticPartition) {
+  for (const char* kind : {"switch", "firewall"}) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      sim::Simulator simulator(seed);
+      auto backend = net::SwitchPartitioner();
+      auto firewall = net::FirewallPartitioner();
+      net::PartitionBackend* active =
+          std::string(kind) == "switch" ? static_cast<net::PartitionBackend*>(&backend)
+                                        : &firewall;
+      net::Network network(&simulator, active);
+      net::Partitioner partitioner(active);
+
+      // Random bipartition of 6 nodes.
+      sim::Rng rng(seed * 31);
+      net::Group side_a;
+      net::Group side_b;
+      for (net::NodeId n = 1; n <= 6; ++n) {
+        (rng.NextBool(0.5) ? side_a : side_b).push_back(n);
+      }
+      if (side_a.empty() || side_b.empty()) {
+        continue;
+      }
+      auto in_a = [&side_a](net::NodeId n) {
+        return std::find(side_a.begin(), side_a.end(), n) != side_a.end();
+      };
+      partitioner.Complete(side_a, side_b);
+
+      std::vector<std::pair<net::NodeId, net::NodeId>> delivered;
+      for (net::NodeId n = 1; n <= 6; ++n) {
+        network.Register(n, [n, &delivered](const net::Envelope& envelope) {
+          delivered.emplace_back(envelope.src, n);
+        });
+      }
+      for (int i = 0; i < 300; ++i) {
+        const net::NodeId src = static_cast<net::NodeId>(1 + rng.NextBelow(6));
+        const net::NodeId dst = static_cast<net::NodeId>(1 + rng.NextBelow(6));
+        network.SendNew<net::Ping>(src, dst);
+      }
+      simulator.RunUntilIdle();
+      for (const auto& [src, dst] : delivered) {
+        EXPECT_EQ(in_a(src), in_a(dst))
+            << kind << " let " << src << "->" << dst << " cross the partition";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net_property
+
+namespace net_latency {
+namespace {
+
+// Delivery latency stays within [base, base + jitter].
+TEST(NetworkLatency, JitterIsBounded) {
+  sim::Simulator simulator(5);
+  net::SwitchPartitioner backend;
+  net::Network network(&simulator, &backend);
+  network.set_latency({sim::Microseconds(300), sim::Microseconds(150)});
+  std::vector<sim::Time> latencies;
+  network.Register(2, [&](const net::Envelope& envelope) {
+    latencies.push_back(simulator.Now() - envelope.sent_at);
+  });
+  network.Register(1, [](const net::Envelope&) {});
+  for (int i = 0; i < 500; ++i) {
+    network.SendNew<net::Ping>(1, 2);
+    simulator.RunUntilIdle();
+  }
+  ASSERT_EQ(latencies.size(), 500u);
+  sim::Time lo = latencies[0];
+  sim::Time hi = latencies[0];
+  for (sim::Time t : latencies) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+    EXPECT_GE(t, sim::Microseconds(300));
+    EXPECT_LE(t, sim::Microseconds(450));
+  }
+  // The jitter draw actually spreads across the window.
+  EXPECT_LT(lo, sim::Microseconds(330));
+  EXPECT_GT(hi, sim::Microseconds(420));
+}
+
+}  // namespace
+}  // namespace net_latency

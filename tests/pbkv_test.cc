@@ -1,0 +1,581 @@
+// Scenario and property tests for the primary-backup KV system.
+//
+// Each flawed configuration reproduces a failure the paper documents, and
+// the corresponding corrected configuration must not. Scenarios follow the
+// paper's manifestation sequences: partition first, then a handful of
+// ordinary client events with the timing constraints of Section 5.2.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/checkers.h"
+#include "check/linearizability.h"
+#include "systems/pbkv/cluster.h"
+
+namespace pbkv {
+namespace {
+
+using check::OpStatus;
+
+Cluster::Config MakeConfig(const Options& options, uint64_t seed = 1) {
+  Cluster::Config config;
+  config.options = options;
+  config.seed = seed;
+  return config;
+}
+
+TEST(PbkvSteadyState, InitialLeaderIsLowestId) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(500));
+  EXPECT_EQ(cluster.FindPrimary(), 1);
+}
+
+TEST(PbkvSteadyState, PutThenGetRoundTrips) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  auto put = cluster.Put(0, "k", "v1");
+  EXPECT_EQ(put.status, OpStatus::kOk);
+  auto get = cluster.Get(1, "k");
+  EXPECT_EQ(get.status, OpStatus::kOk);
+  EXPECT_EQ(get.value, "v1");
+}
+
+TEST(PbkvSteadyState, DeleteRemovesKey) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Delete(0, "k").status, OpStatus::kOk);
+  auto get = cluster.Get(1, "k");
+  EXPECT_EQ(get.status, OpStatus::kOk);
+  EXPECT_EQ(get.value, "");
+}
+
+TEST(PbkvSteadyState, WritesReplicateToAllReplicas) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(300));
+  for (net::NodeId id : cluster.server_ids()) {
+    EXPECT_EQ(cluster.server(id).StoreGet("k").value_or("<none>"), "v") << "replica " << id;
+  }
+}
+
+TEST(PbkvSteadyState, NonLeaderRedirectsClients) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(0).set_contact(3);  // a follower
+  auto put = cluster.Put(0, "k", "v");
+  EXPECT_EQ(put.status, OpStatus::kOk);  // redirected to the primary
+}
+
+TEST(PbkvClient, TimesOutWhenTheContactNeverAnswers) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(0).set_contact(99);  // no such node
+  cluster.client(0).set_op_timeout(sim::Milliseconds(200));
+  auto put = cluster.Put(0, "k", "v");
+  EXPECT_EQ(put.status, OpStatus::kTimeout);
+  // The client recovers for the next operation.
+  cluster.client(0).set_contact(1);
+  EXPECT_EQ(cluster.Put(0, "k", "v2").status, OpStatus::kOk);
+}
+
+TEST(PbkvClient, LateRepliesAfterTimeoutAreIgnored) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  // Timeout shorter than the network round trip: the reply arrives late.
+  cluster.network().set_latency({sim::Milliseconds(5), 0});
+  cluster.client(0).set_op_timeout(sim::Milliseconds(1));
+  auto put = cluster.Put(0, "k", "v");
+  EXPECT_EQ(put.status, OpStatus::kTimeout);
+  cluster.Settle(sim::Milliseconds(100));  // the stale reply lands harmlessly
+  cluster.client(0).set_op_timeout(sim::Milliseconds(800));
+  EXPECT_EQ(cluster.Put(0, "k2", "v2").status, OpStatus::kOk);
+}
+
+TEST(PbkvFailover, MajorityElectsNewLeaderWhenLeaderIsolated) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Seconds(2));
+  auto primaries = cluster.Primaries();
+  // The majority side elected a new primary; the old one stepped down.
+  bool majority_has_leader = false;
+  for (net::NodeId p : primaries) {
+    if (p != 1) {
+      majority_has_leader = true;
+    }
+  }
+  EXPECT_TRUE(majority_has_leader);
+  EXPECT_FALSE(cluster.server(1).is_primary()) << "old leader should step down";
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(PbkvFailover, MinorityCannotElect) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  auto partition = cluster.partitioner().Complete({3}, {1, 2});
+  cluster.Settle(sim::Seconds(2));
+  EXPECT_FALSE(cluster.server(3).is_primary());
+  EXPECT_TRUE(cluster.server(1).is_primary());
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(PbkvFailover, WritesContinueOnMajoritySide) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(300));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Seconds(2));
+  cluster.client(1).set_contact(2);
+  auto put = cluster.Put(1, "k", "after-failover");
+  EXPECT_EQ(put.status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+}
+
+// --- Figure 2: the VoltDB dirty read (ENG-10389) ---
+
+TEST(PbkvDirtyRead, FlawedConfigReproducesFigure2) {
+  Cluster cluster(MakeConfig(VoltDbOptions()));
+  cluster.Settle(sim::Milliseconds(500));
+  ASSERT_EQ(cluster.FindPrimary(), 1);
+
+  // Step 1: a complete partition isolates the master from the replicas.
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+
+  // Step 2: a write arrives at the old master right after the partition
+  // (the timing constraint of Section 5.2). Replication fails -> the write
+  // fails, but the value stays in the master's local copy.
+  cluster.client(0).set_contact(1);
+  cluster.client(0).set_allow_redirect(false);
+  auto put = cluster.Put(0, "x", "uncommitted");
+  EXPECT_EQ(put.status, OpStatus::kFail);
+
+  // Step 3: a read at the old master returns the never-committed value.
+  auto get = cluster.Get(0, "x");
+  EXPECT_EQ(get.status, OpStatus::kOk);
+  EXPECT_EQ(get.value, "uncommitted");
+
+  auto violations = check::CheckDirtyReads(cluster.history());
+  ASSERT_EQ(violations.size(), 1u) << check::FormatViolations(violations);
+  EXPECT_EQ(violations[0].impact, "dirty read");
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(PbkvDirtyRead, QuorumReadsPreventFigure2) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(500));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.client(0).set_contact(1);
+  cluster.client(0).set_allow_redirect(false);
+  auto put = cluster.Put(0, "x", "uncommitted");
+  EXPECT_EQ(put.status, OpStatus::kFail);
+  auto get = cluster.Get(0, "x");
+  // The deposed master cannot confirm leadership: the read fails instead of
+  // returning dirty data (consistency chosen over availability).
+  EXPECT_NE(get.status, OpStatus::kOk);
+  EXPECT_TRUE(check::CheckDirtyReads(cluster.history()).empty());
+  cluster.partitioner().Heal(partition);
+}
+
+// --- Listing 1: Elasticsearch intersecting-splits data loss (#2488) ---
+
+TEST(PbkvSplitBrain, FlawedConfigLosesAcknowledgedWrites) {
+  Cluster::Config config = MakeConfig(ElasticsearchOptions());
+  Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(500));
+  ASSERT_EQ(cluster.FindPrimary(), 1);
+  const net::NodeId c1 = cluster.client(0).id();
+  const net::NodeId c2 = cluster.client(1).id();
+
+  // Partial partition: {s1, client1} | {s2, client2}; s3 sees everyone.
+  auto partition = cluster.partitioner().Partial({1, c1}, {2, c2});
+  cluster.Settle(sim::Milliseconds(600));  // SLEEP_LEADER_ELECTION_PERIOD
+
+  // Two simultaneous leaders: s1 (old) and s2 (elected with s3's vote).
+  auto primaries = cluster.Primaries();
+  EXPECT_EQ(primaries.size(), 2u) << "expected split brain";
+
+  // Writes succeed on both sides of the partition.
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  EXPECT_EQ(cluster.Put(0, "obj1", "v1").status, OpStatus::kOk);
+  EXPECT_EQ(cluster.Put(1, "obj2", "v2").status, OpStatus::kOk);
+
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+
+  // s2 steps down (smaller id wins) and adopts s1's data: obj2 is lost.
+  auto read1 = cluster.Get(1, "obj1", /*final_read=*/true);
+  auto read2 = cluster.Get(1, "obj2", /*final_read=*/true);
+  EXPECT_EQ(read1.value, "v1");
+  EXPECT_NE(read2.value, "v2") << "expected the acknowledged write to be lost";
+  auto violations = check::CheckDataLoss(cluster.history());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].impact, "data loss");
+}
+
+TEST(PbkvSplitBrain, VoteRefusalPreventsDataLoss) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(500));
+  const net::NodeId c1 = cluster.client(0).id();
+  const net::NodeId c2 = cluster.client(1).id();
+  auto partition = cluster.partitioner().Partial({1, c1}, {2, c2});
+  cluster.Settle(sim::Milliseconds(600));
+
+  // s3 still sees the live leader s1 and refuses to vote: no split brain.
+  EXPECT_EQ(cluster.Primaries(), (std::vector<net::NodeId>{1}));
+
+  cluster.client(0).set_contact(1);
+  cluster.client(1).set_contact(2);
+  cluster.client(1).set_allow_redirect(false);
+  EXPECT_EQ(cluster.Put(0, "obj1", "v1").status, OpStatus::kOk);
+  // client2's write cannot be acknowledged by a non-leader.
+  EXPECT_NE(cluster.Put(1, "obj2", "v2").status, OpStatus::kOk);
+
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+  cluster.client(1).set_allow_redirect(true);
+  auto read1 = cluster.Get(1, "obj1", /*final_read=*/true);
+  EXPECT_EQ(read1.value, "v1");
+  EXPECT_TRUE(check::CheckDataLoss(cluster.history()).empty());
+}
+
+// --- MongoDB arbiter leader thrash under a partial partition ---
+
+TEST(PbkvArbiter, UncheckedArbiterVotesCauseLeaderThrash) {
+  Cluster cluster(MakeConfig(MongoArbiterOptions()));
+  cluster.Settle(sim::Milliseconds(500));
+  ASSERT_EQ(cluster.FindPrimary(), 1);
+  // Partial partition between the two replicas; the arbiter sees both.
+  auto partition = cluster.partitioner().Partial({1}, {2});
+  cluster.Settle(sim::Seconds(4));
+  // Leadership thrashes back and forth until the partition heals.
+  EXPECT_GE(cluster.TotalElections(), 4u);
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(PbkvArbiter, LeaderAwareArbiterPreventsThrash) {
+  Options options = MongoArbiterOptions();
+  options.arbiter_checks_leader = true;  // the SERVER-27125 fix
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(500));
+  auto partition = cluster.partitioner().Partial({1}, {2});
+  cluster.Settle(sim::Seconds(4));
+  // Node 2 keeps trying, but the arbiter refuses while node 1 is healthy:
+  // node 1 remains the only primary throughout.
+  EXPECT_TRUE(cluster.server(1).is_primary());
+  EXPECT_FALSE(cluster.server(2).is_primary());
+  EXPECT_EQ(cluster.server(1).stepdowns(), 0u);
+  cluster.partitioner().Heal(partition);
+}
+
+// --- MongoDB conflicting election criteria (SERVER-14885) ---
+
+TEST(PbkvConflictingCriteria, ClusterCanEndUpLeaderless) {
+  Options options = MongoConflictingCriteriaOptions();
+  // Node 2 has the high priority; node 3 will have the latest timestamp.
+  options.priorities = {{1, 0}, {2, 10}, {3, 0}};
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(500));
+  ASSERT_EQ(cluster.FindPrimary(), 1);
+
+  // Give node 3 a later operation timestamp than node 2: write while node 2
+  // is partitioned away.
+  auto divergence = cluster.partitioner().Partial({1}, {2});
+  cluster.client(0).set_contact(1);
+  cluster.client(0).set_allow_redirect(false);
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);  // replicated to 1 and 3
+  cluster.partitioner().Heal(divergence);
+  // Heal before node 2 elects; then isolate the leader completely.
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Seconds(4));
+
+  // Node 2 rejects node 3 (priority), node 3 rejects node 2 (timestamp):
+  // nobody wins — the cluster is leaderless and unavailable.
+  EXPECT_FALSE(cluster.server(2).is_primary());
+  EXPECT_FALSE(cluster.server(3).is_primary());
+  EXPECT_GE(cluster.TotalElections(), 2u);
+  cluster.client(1).set_contact(2);
+  auto put = cluster.Put(1, "y", "unreachable");
+  EXPECT_NE(put.status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(PbkvConflictingCriteria, SingleCriterionElectsALeader) {
+  Options options = MongoConflictingCriteriaOptions();
+  options.criterion = ElectionCriterion::kLatestTimestamp;  // drop the priority rule
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(500));
+  auto divergence = cluster.partitioner().Partial({1}, {2});
+  cluster.client(0).set_contact(1);
+  cluster.client(0).set_allow_redirect(false);
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  cluster.partitioner().Heal(divergence);
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.Settle(sim::Seconds(4));
+  const bool two_is_primary = cluster.server(2).is_primary();
+  const bool three_is_primary = cluster.server(3).is_primary();
+  EXPECT_TRUE(two_is_primary || three_is_primary);
+  cluster.partitioner().Heal(partition);
+}
+
+// --- Redis-style asynchronous replication: acked writes lost on failover ---
+
+TEST(PbkvAsyncReplication, AcknowledgedWriteLostAfterFailover) {
+  Cluster cluster(MakeConfig(AsyncReplicationOptions()));
+  cluster.Settle(sim::Milliseconds(500));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.client(0).set_contact(1);
+  cluster.client(0).set_allow_redirect(false);
+  // Asynchronous replication acknowledges before replicating.
+  auto put = cluster.Put(0, "k", "acked-then-lost");
+  EXPECT_EQ(put.status, OpStatus::kOk);
+  cluster.Settle(sim::Seconds(2));  // majority elects a new leader
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+  cluster.client(1).set_contact(2);
+  auto read = cluster.Get(1, "k", /*final_read=*/true);
+  EXPECT_EQ(read.status, OpStatus::kOk);
+  EXPECT_NE(read.value, "acked-then-lost");
+  auto violations = check::CheckDataLoss(cluster.history());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].impact, "data loss");
+}
+
+TEST(PbkvAsyncReplication, MajorityWriteConcernPreventsTheLoss) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(500));
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.client(0).set_contact(1);
+  cluster.client(0).set_allow_redirect(false);
+  auto put = cluster.Put(0, "k", "not-acked");
+  EXPECT_EQ(put.status, OpStatus::kFail);  // no quorum, no ack
+  cluster.Settle(sim::Seconds(2));
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+  cluster.Get(1, "k", /*final_read=*/true);
+  EXPECT_TRUE(check::CheckDataLoss(cluster.history()).empty());
+}
+
+// --- property sweep: the corrected configuration stays safe ---
+
+class PbkvCorrectnessSweep : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(PbkvCorrectnessSweep, PartitionHealCycleStaysLinearizable) {
+  const auto [seed, use_switch] = GetParam();
+  Cluster::Config config = MakeConfig(CorrectOptions(), seed);
+  config.use_switch_backend = use_switch;
+  Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(500));
+
+  ASSERT_EQ(cluster.Put(0, "k", "v1").status, OpStatus::kOk);
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  cluster.client(0).set_contact(1);
+  cluster.client(0).set_allow_redirect(false);
+  cluster.Put(0, "k", "v2-minority");  // fails or times out; either is safe
+  cluster.Settle(sim::Seconds(2));
+  cluster.client(1).set_contact(2);
+  cluster.Put(1, "k", "v3-majority");
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+
+  cluster.client(1).set_contact(2);
+  cluster.Get(1, "k", /*final_read=*/true);
+  auto& history = cluster.history();
+  EXPECT_TRUE(check::CheckDirtyReads(history).empty());
+  auto lin = check::CheckLinearizable(history);
+  EXPECT_TRUE(lin.linearizable) << lin.reason << "\n" << history.Dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PbkvCorrectnessSweep,
+                         ::testing::Combine(::testing::Range<uint64_t>(1, 9),
+                                            ::testing::Bool()),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(std::get<0>(param_info.param)) +
+                                  (std::get<1>(param_info.param) ? "_switch" : "_firewall");
+                         });
+
+}  // namespace
+}  // namespace pbkv
+
+// --- Table 4 "electing bad leaders": the longest log wins, even when its
+// extra entries were never committed (VoltDB ENG-10486) ---
+
+namespace pbkv_extra {
+namespace {
+
+using check::OpStatus;
+
+pbkv::Cluster::Config BadLeaderConfig(bool flawed) {
+  pbkv::Cluster::Config config;
+  config.options = pbkv::CorrectOptions();
+  config.options.quorum_reads = false;
+  if (flawed) {
+    // Whoever has the longer log wins the post-heal conflict — including a
+    // deposed leader fat with failed, uncommitted writes. The old leader
+    // keeps serving its side (no split-brain step-down), so the conflict
+    // actually happens at heal time.
+    config.options.conflict_winner = pbkv::ConflictWinner::kByCriterion;
+    config.options.criterion = pbkv::ElectionCriterion::kLongestLog;
+    config.options.stepdown_miss_threshold = 1000;
+  }
+  return config;
+}
+
+void RunBadLeaderScenario(pbkv::Cluster& cluster) {
+  cluster.Settle(sim::Milliseconds(500));
+  ASSERT_EQ(cluster.FindPrimary(), 1);
+  auto partition = cluster.partitioner().Complete({1}, {2, 3});
+  // The isolated old leader accumulates a long log of *failed* writes.
+  cluster.client(0).set_contact(1);
+  cluster.client(0).set_allow_redirect(false);
+  cluster.client(0).set_op_timeout(sim::Milliseconds(400));
+  for (int i = 0; i < 4; ++i) {
+    cluster.Put(0, "junk" + std::to_string(i), "uncommitted");
+  }
+  // The majority elects a replacement and commits real data.
+  cluster.Settle(sim::Seconds(1));
+  cluster.client(1).set_contact(2);
+  ASSERT_EQ(cluster.Put(1, "k", "committed-on-majority").status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+  cluster.client(1).set_contact(2);
+  cluster.Get(1, "k", /*final_read=*/true);
+}
+
+TEST(PbkvBadLeader, LongestLogCriterionErasesCommittedWrites) {
+  pbkv::Cluster cluster(BadLeaderConfig(/*flawed=*/true));
+  RunBadLeaderScenario(cluster);
+  // The deposed leader's longer (junk) log won the conflict; the majority's
+  // acknowledged write is gone.
+  auto violations = check::CheckDataLoss(cluster.history());
+  ASSERT_FALSE(violations.empty()) << cluster.history().Dump();
+  EXPECT_EQ(violations[0].impact, "data loss");
+}
+
+TEST(PbkvBadLeader, HigherTermConflictResolutionKeepsCommittedWrites) {
+  pbkv::Cluster cluster(BadLeaderConfig(/*flawed=*/false));
+  RunBadLeaderScenario(cluster);
+  EXPECT_TRUE(check::CheckDataLoss(cluster.history()).empty())
+      << cluster.history().Dump();
+}
+
+// --- Simplex partitions (Figure 1c): heartbeats flow out of the isolated
+// leader, so followers never suspect it; without a step-down the system
+// hangs exactly like the Broadcom-chipset failure the paper cites [46] ---
+
+TEST(PbkvSimplex, OneWayPartitionHangsWithoutStepDown) {
+  pbkv::Cluster::Config config;
+  config.options = pbkv::CorrectOptions();
+  config.options.stepdown_miss_threshold = 1000;  // primary never steps down
+  pbkv::Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(500));
+  // Traffic flows leader -> replicas only; everything inbound is dropped.
+  auto partition = cluster.partitioner().Simplex({1}, {2, 3});
+  cluster.Settle(sim::Seconds(2));
+  // The failover server neither detected the failure nor took over.
+  EXPECT_EQ(cluster.Primaries(), (std::vector<net::NodeId>{1}));
+  cluster.client(0).set_contact(2);
+  cluster.client(0).set_allow_redirect(true);
+  auto put = cluster.Put(0, "k", "v");
+  EXPECT_NE(put.status, OpStatus::kOk) << "no node can commit anything";
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(PbkvSimplex, StepDownOnMissingAcksRestoresAvailability) {
+  pbkv::Cluster cluster(pbkv::Cluster::Config{});
+  cluster.Settle(sim::Milliseconds(500));
+  auto partition = cluster.partitioner().Simplex({1}, {2, 3});
+  cluster.Settle(sim::Seconds(2));
+  // The leader noticed it hears nothing back and stepped down; a follower
+  // then stopped receiving heartbeats and took over.
+  EXPECT_FALSE(cluster.server(1).is_primary());
+  bool majority_has_leader = cluster.server(2).is_primary() || cluster.server(3).is_primary();
+  EXPECT_TRUE(majority_has_leader);
+  cluster.client(0).set_contact(2);
+  auto put = cluster.Put(0, "k", "v");
+  EXPECT_EQ(put.status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+}
+
+}  // namespace
+}  // namespace pbkv_extra
+
+// --- Request routing (#9967): a committed write reported as failed ---
+
+namespace pbkv_routing {
+namespace {
+
+using check::OpStatus;
+
+TEST(PbkvRouting, LostAckTurnsACommittedWriteIntoAReportedFailure) {
+  pbkv::Cluster::Config config;
+  config.options = pbkv::CoordinatorRoutingOptions();
+  // Elasticsearch coordinators do not depose the master over one slow link;
+  // keep the follower trusting its leader for the whole scenario.
+  config.options.election_miss_threshold = 100;
+  pbkv::Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(500));
+  ASSERT_EQ(cluster.FindPrimary(), 1);
+
+  // Simplex partition: the coordinator (n3) can reach the primary, but the
+  // primary's replies to it are dropped (Figure 1c).
+  auto partition = cluster.partitioner().Simplex({3}, {1});
+
+  // The client writes through the coordinator. The primary commits the
+  // write (it reaches n2 for the quorum), but its acknowledgement to the
+  // coordinator is lost — the client is told the write FAILED.
+  cluster.client(0).set_contact(3);
+  cluster.client(0).set_allow_redirect(false);
+  auto put = cluster.Put(0, "k", "committed-but-reported-failed");
+  EXPECT_EQ(put.status, OpStatus::kFail);
+
+  // A later read — directly at the primary — returns the "failed" write.
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(1).set_contact(1);
+  auto get = cluster.Get(1, "k");
+  EXPECT_EQ(get.status, OpStatus::kOk);
+  EXPECT_EQ(get.value, "committed-but-reported-failed");
+
+  auto violations = check::CheckDirtyReads(cluster.history());
+  ASSERT_FALSE(violations.empty()) << "the value of a reported-failed write is visible";
+}
+
+TEST(PbkvRouting, DirectPrimaryAccessReportsTheTruth) {
+  pbkv::Cluster::Config config;
+  config.options = pbkv::CorrectOptions();
+  config.options.quorum_reads = false;
+  pbkv::Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(500));
+  auto partition = cluster.partitioner().Simplex({3}, {1});
+  // Without coordinator forwarding, the follower redirects and the client
+  // talks to the primary itself: the status code is truthful.
+  cluster.client(0).set_contact(3);
+  auto put = cluster.Put(0, "k", "v");
+  EXPECT_EQ(put.status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Milliseconds(300));
+  cluster.client(1).set_contact(1);
+  cluster.Get(1, "k");
+  EXPECT_TRUE(check::CheckDirtyReads(cluster.history()).empty());
+}
+
+TEST(PbkvRouting, ForwardingWorksWhenTheNetworkIsHealthy) {
+  pbkv::Cluster::Config config;
+  config.options = pbkv::CoordinatorRoutingOptions();
+  pbkv::Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(500));
+  cluster.client(0).set_contact(3);
+  cluster.client(0).set_allow_redirect(false);
+  auto put = cluster.Put(0, "k", "v1");
+  EXPECT_EQ(put.status, OpStatus::kOk) << "coordinator relays the primary's ack";
+  cluster.client(1).set_contact(1);
+  auto get = cluster.Get(1, "k");
+  EXPECT_EQ(get.value, "v1");
+}
+
+}  // namespace
+}  // namespace pbkv_routing

@@ -1,0 +1,340 @@
+// Scenario and property tests for the Raft key-value store, including the
+// RethinkDB #5289 reproduction: a removed replica that deletes its Raft log
+// lets the old configuration assemble a second majority.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "check/checkers.h"
+#include "check/linearizability.h"
+#include "systems/raftkv/cluster.h"
+
+namespace raftkv {
+namespace {
+
+using check::OpStatus;
+
+Cluster::Config MakeConfig(const Options& options, int num_servers, uint64_t seed = 1) {
+  Cluster::Config config;
+  config.options = options;
+  config.num_servers = num_servers;
+  config.seed = seed;
+  return config;
+}
+
+TEST(RaftElection, LeaderEmerges) {
+  Cluster cluster(MakeConfig(CorrectOptions(), 3));
+  const net::NodeId leader = cluster.WaitForLeader();
+  ASSERT_NE(leader, net::kInvalidNode);
+  cluster.Settle(sim::Milliseconds(500));
+  EXPECT_EQ(cluster.Leaders().size(), 1u);
+}
+
+TEST(RaftElection, FiveNodeClusterElects) {
+  Cluster cluster(MakeConfig(CorrectOptions(), 5));
+  EXPECT_NE(cluster.WaitForLeader(), net::kInvalidNode);
+}
+
+TEST(RaftKv, PutGetRoundTrips) {
+  Cluster cluster(MakeConfig(CorrectOptions(), 3));
+  ASSERT_NE(cluster.WaitForLeader(), net::kInvalidNode);
+  cluster.Settle(sim::Milliseconds(300));  // followers learn the leader
+  EXPECT_EQ(cluster.Put(0, "k", "v1").status, OpStatus::kOk);
+  auto get = cluster.Get(1, "k");
+  EXPECT_EQ(get.status, OpStatus::kOk);
+  EXPECT_EQ(get.value, "v1");
+}
+
+TEST(RaftKv, DeleteRemovesKey) {
+  Cluster cluster(MakeConfig(CorrectOptions(), 3));
+  ASSERT_NE(cluster.WaitForLeader(), net::kInvalidNode);
+  cluster.Settle(sim::Milliseconds(300));  // followers learn the leader
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Delete(0, "k").status, OpStatus::kOk);
+  auto get = cluster.Get(1, "k");
+  EXPECT_EQ(get.status, OpStatus::kOk);
+  EXPECT_EQ(get.value, "");
+}
+
+TEST(RaftKv, CommittedEntriesReachAllReplicas) {
+  Cluster cluster(MakeConfig(CorrectOptions(), 3));
+  const net::NodeId leader = cluster.WaitForLeader();
+  ASSERT_NE(leader, net::kInvalidNode);
+  cluster.client(0).set_contact(leader);
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(500));
+  for (net::NodeId id : cluster.server_ids()) {
+    EXPECT_EQ(cluster.server(id).StoreGet("k").value_or("<none>"), "v") << "server " << id;
+  }
+}
+
+TEST(RaftFailover, IsolatedLeaderCannotCommit) {
+  Cluster cluster(MakeConfig(CorrectOptions(), 3));
+  const net::NodeId leader = cluster.WaitForLeader();
+  ASSERT_NE(leader, net::kInvalidNode);
+  auto partition = cluster.partitioner().Complete(
+      {leader}, net::Partitioner::Rest(cluster.server_ids(), {leader}));
+  cluster.client(0).set_contact(leader);
+  cluster.client(0).set_allow_redirect(false);
+  cluster.client(0).set_op_timeout(sim::Milliseconds(600));
+  auto put = cluster.Put(0, "k", "minority-write");
+  EXPECT_NE(put.status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(RaftFailover, MajorityElectsReplacementAndServes) {
+  Cluster cluster(MakeConfig(CorrectOptions(), 3));
+  const net::NodeId leader = cluster.WaitForLeader();
+  auto rest = net::Partitioner::Rest(cluster.server_ids(), {leader});
+  auto partition = cluster.partitioner().Complete({leader}, rest);
+  cluster.Settle(sim::Seconds(2));
+  cluster.client(1).set_contact(rest.front());
+  auto put = cluster.Put(1, "k", "majority-write");
+  EXPECT_EQ(put.status, OpStatus::kOk);
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+  // The healed old leader catches up.
+  EXPECT_EQ(cluster.server(leader).StoreGet("k").value_or("<none>"), "majority-write");
+}
+
+TEST(RaftFailover, CommittedDataSurvivesLeaderCrash) {
+  Cluster cluster(MakeConfig(CorrectOptions(), 3));
+  const net::NodeId leader = cluster.WaitForLeader();
+  ASSERT_NE(leader, net::kInvalidNode);
+  cluster.client(0).set_contact(leader);
+  ASSERT_EQ(cluster.Put(0, "k", "durable").status, OpStatus::kOk);
+  cluster.server(leader).Crash();
+  cluster.Settle(sim::Seconds(2));
+  auto rest = net::Partitioner::Rest(cluster.server_ids(), {leader});
+  cluster.client(1).set_contact(rest.front());
+  auto get = cluster.Get(1, "k", /*final_read=*/true);
+  EXPECT_EQ(get.status, OpStatus::kOk);
+  EXPECT_EQ(get.value, "durable");
+}
+
+TEST(RaftConfig, MembershipChangeCommits) {
+  Cluster cluster(MakeConfig(CorrectOptions(), 5));
+  const net::NodeId leader = cluster.WaitForLeader();
+  ASSERT_NE(leader, net::kInvalidNode);
+  // Shrink to the leader plus two others.
+  std::vector<net::NodeId> keep{leader};
+  for (net::NodeId id : cluster.server_ids()) {
+    if (id != leader && keep.size() < 3) {
+      keep.push_back(id);
+    }
+  }
+  cluster.client(0).set_contact(leader);
+  auto change = cluster.ChangeMembers(0, keep);
+  EXPECT_EQ(change.status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(500));
+  EXPECT_EQ(cluster.server(leader).members().size(), 3u);
+}
+
+TEST(RaftConfig, CorrectlyRemovedReplicaRetiresWithLogIntact) {
+  Cluster cluster(MakeConfig(CorrectOptions(), 3));
+  const net::NodeId leader = cluster.WaitForLeader();
+  ASSERT_NE(leader, net::kInvalidNode);
+  cluster.client(0).set_contact(leader);
+  ASSERT_EQ(cluster.Put(0, "k", "v").status, OpStatus::kOk);
+  auto rest = net::Partitioner::Rest(cluster.server_ids(), {leader});
+  const net::NodeId removed = rest.back();
+  std::vector<net::NodeId> keep;
+  for (net::NodeId id : cluster.server_ids()) {
+    if (id != removed) {
+      keep.push_back(id);
+    }
+  }
+  cluster.client(0).set_contact(leader);
+  ASSERT_EQ(cluster.ChangeMembers(0, keep).status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(500));
+  EXPECT_TRUE(cluster.server(removed).removed());
+  EXPECT_GT(cluster.server(removed).log_size(), 0u);
+}
+
+// --- RethinkDB #5289: removed replica deletes its Raft log ---
+//
+// Five servers; a partial partition separates {s1, s2} from {s4, s5} while
+// s3 can reach everyone. The admin shrinks the replica set to the two
+// servers on the current leader's side. s3, removed, deletes its log
+// (flawed mode). The orphaned old-configuration side now finds in s3 a
+// willing voter and replica: two disjoint "majorities" commit conflicting
+// writes to the same key.
+struct Rethink5289Outcome {
+  bool old_side_write_ok = false;
+  bool new_side_write_ok = false;
+  std::string old_side_store;
+  std::string new_side_store;
+  bool linearizable = true;
+};
+
+Rethink5289Outcome RunRethink5289(const Options& options, uint64_t seed) {
+  Cluster::Config config = MakeConfig(options, 5, seed);
+  config.num_clients = 3;
+  Cluster cluster(config);
+  Rethink5289Outcome outcome;
+
+  // Elect a leader, then lay the partition around it: the leader and one
+  // peer on one side, two peers orphaned on the other, and one bridge node
+  // that reaches everyone (and is about to be removed).
+  const net::NodeId leader = cluster.WaitForLeader();
+  if (leader == net::kInvalidNode) {
+    ADD_FAILURE() << "no initial leader";
+    return outcome;
+  }
+  net::Group others = net::Partitioner::Rest(cluster.server_ids(), {leader});
+  const net::NodeId bridge = others[0];
+  (void)bridge;  // documents the topology; the bridge gets removed below
+  net::Group keep{leader, others[1]};
+  net::Group orphaned{others[2], others[3]};
+  auto partition = cluster.partitioner().Partial(orphaned, keep);
+
+  // The admin promptly shrinks the replica set to the leader's side; the
+  // bridge node is removed and (in flawed mode) deletes its log.
+  cluster.Settle(sim::Milliseconds(100));
+  cluster.client(2).set_contact(leader);
+  cluster.client(2).set_allow_redirect(false);
+  auto change = cluster.ChangeMembers(2, keep);
+  if (change.status != OpStatus::kOk) {
+    ADD_FAILURE() << "could not apply the membership change";
+    return outcome;
+  }
+  cluster.Settle(sim::Seconds(1));
+  // A client on the orphaned side writes; another writes on the kept side;
+  // then the orphaned side is read after the kept side's write completed.
+  cluster.client(0).set_contact(orphaned.front());
+  cluster.client(0).set_op_timeout(sim::Seconds(2));
+  outcome.old_side_write_ok = cluster.Put(0, "k", "old-config-v").status == OpStatus::kOk;
+  cluster.client(1).set_contact(leader);
+  outcome.new_side_write_ok = cluster.Put(1, "k", "new-config-v").status == OpStatus::kOk;
+  auto read = cluster.Get(0, "k");
+  (void)read;
+
+  outcome.old_side_store = cluster.server(orphaned.front()).StoreGet("k").value_or("");
+  outcome.new_side_store = cluster.server(keep.front()).StoreGet("k").value_or("");
+  outcome.linearizable = check::CheckLinearizable(cluster.history()).linearizable;
+  cluster.partitioner().Heal(partition);
+  return outcome;
+}
+
+TEST(RaftRethinkDb5289, LogDeletionCreatesTwoReplicaSets) {
+  const Rethink5289Outcome outcome = RunRethink5289(RethinkDbOptions(), /*seed=*/3);
+  EXPECT_TRUE(outcome.old_side_write_ok) << "orphaned side should assemble a majority via "
+                                            "the amnesiac replica";
+  EXPECT_TRUE(outcome.new_side_write_ok);
+  EXPECT_EQ(outcome.old_side_store, "old-config-v");
+  EXPECT_EQ(outcome.new_side_store, "new-config-v");
+  EXPECT_FALSE(outcome.linearizable) << "conflicting commits on both sides";
+}
+
+TEST(RaftRethinkDb5289, StandardRaftRetirementPreventsIt) {
+  const Rethink5289Outcome outcome = RunRethink5289(CorrectOptions(), /*seed=*/3);
+  EXPECT_FALSE(outcome.old_side_write_ok)
+      << "the retired replica must not help the orphaned side";
+  EXPECT_TRUE(outcome.new_side_write_ok);
+  EXPECT_TRUE(outcome.linearizable);
+}
+
+// --- property sweep: linearizability across partition/heal cycles ---
+
+class RaftLinearizabilitySweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(RaftLinearizabilitySweep, PartitionHealCycleStaysLinearizable) {
+  const auto [seed, num_servers] = GetParam();
+  Cluster::Config config = MakeConfig(CorrectOptions(), num_servers, seed);
+  Cluster cluster(config);
+  const net::NodeId first_leader = cluster.WaitForLeader();
+  ASSERT_NE(first_leader, net::kInvalidNode);
+
+  cluster.Put(0, "k", "v1");
+  // Isolate a seed-dependent server (possibly the leader).
+  const net::NodeId isolated =
+      cluster.server_ids()[seed % cluster.server_ids().size()];
+  auto partition = cluster.partitioner().Complete(
+      {isolated}, net::Partitioner::Rest(cluster.server_ids(), {isolated}));
+  cluster.client(0).set_op_timeout(sim::Milliseconds(900));
+  cluster.client(0).set_contact(isolated);
+  cluster.client(0).set_allow_redirect(false);
+  cluster.Put(0, "k", "v2");
+  cluster.Settle(sim::Seconds(2));
+  const net::NodeId majority_node =
+      net::Partitioner::Rest(cluster.server_ids(), {isolated}).front();
+  cluster.client(1).set_contact(majority_node);
+  cluster.Put(1, "k", "v3");
+  cluster.Get(1, "k");
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(2));
+  cluster.Get(1, "k", /*final_read=*/true);
+
+  auto result = check::CheckLinearizable(cluster.history());
+  EXPECT_TRUE(result.linearizable) << result.reason << "\n" << cluster.history().Dump();
+  EXPECT_TRUE(check::CheckDirtyReads(cluster.history()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaftLinearizabilitySweep,
+                         ::testing::Combine(::testing::Range<uint64_t>(1, 11),
+                                            ::testing::Values(3, 5)),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(std::get<0>(param_info.param)) +
+                                  "_n" + std::to_string(std::get<1>(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace raftkv
+
+namespace raftkv_divergence {
+namespace {
+
+using check::OpStatus;
+
+// Log divergence and repair: an isolated leader accumulates uncommitted
+// entries; after the heal it must truncate them and adopt the majority's
+// log (Raft's log-matching property).
+TEST(RaftDivergence, IsolatedLeadersUncommittedSuffixIsTruncated) {
+  raftkv::Cluster::Config config;
+  config.num_servers = 3;
+  raftkv::Cluster cluster(config);
+  const net::NodeId old_leader = cluster.WaitForLeader();
+  ASSERT_NE(old_leader, net::kInvalidNode);
+  cluster.client(0).set_contact(old_leader);
+  ASSERT_EQ(cluster.Put(0, "k", "committed-before").status, OpStatus::kOk);
+
+  auto rest = net::Partitioner::Rest(cluster.server_ids(), {old_leader});
+  auto partition = cluster.partitioner().Complete({old_leader}, rest);
+  // Uncommitted writes pile up on the isolated leader.
+  cluster.client(0).set_allow_redirect(false);
+  cluster.client(0).set_op_timeout(sim::Milliseconds(500));
+  for (int i = 0; i < 3; ++i) {
+    auto put = cluster.Put(0, "junk" + std::to_string(i), "uncommitted");
+    EXPECT_NE(put.status, OpStatus::kOk);
+  }
+  const size_t diverged_log = cluster.server(old_leader).log_size();
+
+  // The majority moves on.
+  cluster.Settle(sim::Seconds(2));
+  cluster.client(1).set_contact(rest.front());
+  ASSERT_EQ(cluster.Put(1, "k", "committed-after").status, OpStatus::kOk);
+
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(2));
+
+  // The old leader truncated its divergent suffix and converged.
+  EXPECT_LT(cluster.server(old_leader).log_size(), diverged_log + 3);
+  EXPECT_EQ(cluster.server(old_leader).StoreGet("k").value_or("<none>"),
+            "committed-after");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(cluster.server(old_leader).StoreGet("junk" + std::to_string(i)).has_value())
+        << "uncommitted entry " << i << " must not survive";
+  }
+  // Every replica ends with an identical applied state for the key.
+  for (net::NodeId id : cluster.server_ids()) {
+    EXPECT_EQ(cluster.server(id).StoreGet("k").value_or("<none>"), "committed-after")
+        << "server " << id;
+  }
+}
+
+}  // namespace
+}  // namespace raftkv_divergence

@@ -1,0 +1,159 @@
+// Scenario tests for the scheduler, reproducing the MapReduce double
+// execution of Figure 3 (MAPREDUCE-4819/-4832) and showing that commit
+// fencing fixes it. Note the paper's observation: this failure needs *no
+// client access after the partition* — the single submit happens before.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/checkers.h"
+#include "systems/sched/cluster.h"
+
+namespace sched {
+namespace {
+
+using check::OpStatus;
+
+Cluster::Config MakeConfig(const Options& options, uint64_t seed = 1) {
+  Cluster::Config config;
+  config.options = options;
+  config.seed = seed;
+  return config;
+}
+
+TEST(SchedSteadyState, TaskRunsToCompletionExactlyOnce) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(100));
+  ASSERT_EQ(cluster.Submit(0, "job-1").status, OpStatus::kOk);
+  cluster.Settle(sim::Seconds(1));
+  ASSERT_EQ(cluster.store().commits().size(), 1u);
+  EXPECT_EQ(cluster.store().commits()[0].task_id, "job-1");
+  EXPECT_EQ(cluster.client(0).ResultCount("job-1"), 1);
+  EXPECT_TRUE(check::CheckDoubleExecution(cluster.store().commits()).empty());
+}
+
+TEST(SchedSteadyState, ContainersFanOutAcrossWorkers) {
+  Options options = CorrectOptions();
+  options.containers_per_task = 3;
+  Cluster cluster(MakeConfig(options));
+  cluster.Settle(sim::Milliseconds(100));
+  ASSERT_EQ(cluster.Submit(0, "job-1").status, OpStatus::kOk);
+  cluster.Settle(sim::Seconds(1));
+  EXPECT_EQ(cluster.store().container_runs().size(), 3u);
+}
+
+TEST(SchedSteadyState, AppMasterIsPlacedRoundRobin) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(100));
+  ASSERT_EQ(cluster.Submit(0, "job-1").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(50));
+  EXPECT_TRUE(cluster.worker(1).HostsAppMasterFor("job-1"));
+  ASSERT_EQ(cluster.Submit(0, "job-2").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(50));
+  EXPECT_TRUE(cluster.worker(2).HostsAppMasterFor("job-2"));
+}
+
+TEST(SchedSteadyState, MultipleTasksCommitIndependently) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(100));
+  ASSERT_EQ(cluster.Submit(0, "job-1").status, OpStatus::kOk);
+  ASSERT_EQ(cluster.Submit(0, "job-2").status, OpStatus::kOk);
+  cluster.Settle(sim::Seconds(1));
+  EXPECT_EQ(cluster.store().commits().size(), 2u);
+}
+
+TEST(SchedCrashRecovery, AmHostCrashTriggersRelaunch) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(100));
+  ASSERT_EQ(cluster.Submit(0, "job-1").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(50));
+  cluster.worker(1).Crash();  // the AM host dies before containers finish
+  cluster.Settle(sim::Seconds(2));
+  // The RM relaunched on another worker; the task still completed once.
+  ASSERT_EQ(cluster.store().commits().size(), 1u);
+  EXPECT_NE(cluster.store().commits()[0].executor, 1);
+  EXPECT_EQ(cluster.client(0).ResultCount("job-1"), 1);
+}
+
+// --- Figure 3: double execution under a partial partition ---
+
+TEST(SchedDoubleExecution, PartialPartitionReproducesFigure3) {
+  Cluster cluster(MakeConfig(MapReduceOptions()));
+  cluster.Settle(sim::Milliseconds(100));
+
+  // (a) The user submits a task; the RM starts an AppMaster on worker 1.
+  ASSERT_EQ(cluster.Submit(0, "job-1").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(50));  // the AppMaster boots on worker 1
+  ASSERT_TRUE(cluster.worker(1).HostsAppMasterFor("job-1"));
+
+  // (b) A partial partition separates the AppMaster from the RM; both still
+  // reach the workers, the store, and the user. No further client input.
+  auto partition = cluster.partitioner().Partial({1}, {cluster.rm_id()});
+  cluster.Settle(sim::Seconds(2));
+
+  // The RM assumed the AM crashed and started a second one; both attempts
+  // committed and the user got the result twice.
+  EXPECT_GE(cluster.rm().AttemptOf("job-1"), 2);
+  auto violations = check::CheckDoubleExecution(cluster.store().commits());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].impact, "double execution");
+  EXPECT_GE(cluster.client(0).ResultCount("job-1"), 2);
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(SchedDoubleExecution, CommitFencingPreventsIt) {
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(100));
+  ASSERT_EQ(cluster.Submit(0, "job-1").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(50));
+  auto partition = cluster.partitioner().Partial({1}, {cluster.rm_id()});
+  cluster.Settle(sim::Seconds(2));
+
+  // The RM still relaunches (it cannot distinguish a partition from a
+  // crash), but the store only accepts the registered attempt's commit.
+  EXPECT_GE(cluster.rm().AttemptOf("job-1"), 2);
+  EXPECT_TRUE(check::CheckDoubleExecution(cluster.store().commits()).empty());
+  EXPECT_EQ(cluster.client(0).ResultCount("job-1"), 1);
+  cluster.partitioner().Heal(partition);
+}
+
+TEST(SchedDoubleExecution, WastedWorkStillVisibleWithFencing) {
+  // Fencing fixes the user-visible duplicate, not the duplicated container
+  // work — the cost the bench reports.
+  Cluster cluster(MakeConfig(CorrectOptions()));
+  cluster.Settle(sim::Milliseconds(100));
+  ASSERT_EQ(cluster.Submit(0, "job-1").status, OpStatus::kOk);
+  cluster.Settle(sim::Milliseconds(50));
+  auto partition = cluster.partitioner().Partial({1}, {cluster.rm_id()});
+  cluster.Settle(sim::Seconds(2));
+  EXPECT_GT(cluster.store().container_runs().size(),
+            static_cast<size_t>(CorrectOptions().containers_per_task));
+  cluster.partitioner().Heal(partition);
+}
+
+class SchedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedSweep, FencedCommitsAreExactlyOnceUnderAnySingleIsolation) {
+  Cluster::Config config = MakeConfig(CorrectOptions(), GetParam());
+  Cluster cluster(config);
+  cluster.Settle(sim::Milliseconds(100));
+  ASSERT_EQ(cluster.Submit(0, "job-1").status, OpStatus::kOk);
+  const net::NodeId isolated =
+      cluster.worker_ids()[GetParam() % cluster.worker_ids().size()];
+  auto partition = cluster.partitioner().Partial({isolated}, {cluster.rm_id()});
+  cluster.Settle(sim::Seconds(2));
+  cluster.partitioner().Heal(partition);
+  cluster.Settle(sim::Seconds(1));
+  auto violations = check::CheckDoubleExecution(cluster.store().commits());
+  EXPECT_TRUE(violations.empty()) << check::FormatViolations(violations);
+  EXPECT_LE(cluster.client(0).ResultCount("job-1"), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedSweep, ::testing::Range<uint64_t>(1, 7),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace sched

@@ -1,0 +1,265 @@
+// Unit tests for the discrete-event simulation kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace sim {
+namespace {
+
+TEST(TimeTest, FormatsUnits) {
+  EXPECT_EQ(FormatTime(15), "15us");
+  EXPECT_EQ(FormatTime(Milliseconds(2) + 500), "2.500ms");
+  EXPECT_EQ(FormatTime(Seconds(3)), "3.000s");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.Schedule(Milliseconds(3), [&order]() { order.push_back(3); });
+  s.Schedule(Milliseconds(1), [&order]() { order.push_back(1); });
+  s.Schedule(Milliseconds(2), [&order]() { order.push_back(2); });
+  s.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TiesBreakBySchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.Schedule(Milliseconds(1), [&order]() { order.push_back(1); });
+  s.Schedule(Milliseconds(1), [&order]() { order.push_back(2); });
+  s.Schedule(Milliseconds(1), [&order]() { order.push_back(3); });
+  s.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator s;
+  Time seen = -1;
+  s.Schedule(Milliseconds(5), [&]() { seen = s.Now(); });
+  s.RunUntilIdle();
+  EXPECT_EQ(seen, Milliseconds(5));
+  EXPECT_EQ(s.Now(), Milliseconds(5));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int ran = 0;
+  s.Schedule(Milliseconds(1), [&]() { ++ran; });
+  s.Schedule(Milliseconds(10), [&]() { ++ran; });
+  s.RunUntil(Milliseconds(5));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.Now(), Milliseconds(5));
+  s.RunUntilIdle();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWhenIdle) {
+  Simulator s;
+  s.RunUntil(Seconds(2));
+  EXPECT_EQ(s.Now(), Seconds(2));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  EventId id = s.Schedule(Milliseconds(1), [&]() { ran = true; });
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));  // second cancel fails
+  s.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelAfterRunFails) {
+  Simulator s;
+  EventId id = s.Schedule(0, []() {});
+  s.RunUntilIdle();
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) {
+      s.Schedule(Milliseconds(1), recurse);
+    }
+  };
+  s.Schedule(Milliseconds(1), recurse);
+  s.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.Now(), Milliseconds(5));
+}
+
+TEST(SimulatorTest, RunUntilPredicateStopsEarly) {
+  Simulator s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    s.Schedule(Milliseconds(i + 1), [&]() { ++count; });
+  }
+  const bool fired = s.RunUntilPredicate([&]() { return count == 3; }, Seconds(1));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, RunUntilPredicateRespectsDeadline) {
+  Simulator s;
+  const bool fired = s.RunUntilPredicate([]() { return false; }, Milliseconds(10));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.Now(), Milliseconds(10));
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) {
+    s.Schedule(i, []() {});
+  }
+  s.RunUntilIdle();
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+TEST(TraceTest, FilterByComponentPrefix) {
+  TraceLog log;
+  log.Append(1, "pbkv.n1", "elected");
+  log.Append(2, "pbkv.n2", "vote");
+  log.Append(3, "net", "drop");
+  EXPECT_EQ(log.Filter("pbkv").size(), 2u);
+  EXPECT_EQ(log.Filter("net").size(), 1u);
+  EXPECT_EQ(log.Filter("").size(), 3u);
+}
+
+TEST(TraceTest, CountEvent) {
+  TraceLog log;
+  log.Append(1, "a", "drop");
+  log.Append(2, "b", "drop");
+  log.Append(3, "c", "elected");
+  EXPECT_EQ(log.CountEvent("drop"), 2u);
+}
+
+TEST(TraceTest, DisabledLogRecordsNothing) {
+  TraceLog log;
+  log.set_enabled(false);
+  log.Append(1, "a", "x");
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceTest, DumpContainsRecords) {
+  TraceLog log;
+  log.Append(Milliseconds(1), "pbkv.n1", "elected", "term=2");
+  const std::string dump = log.Dump();
+  EXPECT_NE(dump.find("pbkv.n1"), std::string::npos);
+  EXPECT_NE(dump.find("term=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sim
+
+namespace sim_property {
+namespace {
+
+// Model-based property: the simulator must run events in exactly the order
+// a reference model (stable sort by time, then by scheduling sequence)
+// predicts, including under random cancellations.
+TEST(SimulatorProperty, MatchesReferenceModelUnderRandomSchedules) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::Rng rng(seed);
+    sim::Simulator simulator;
+    std::vector<int> executed;
+    struct ModelEvent {
+      sim::Time when;
+      uint64_t seq;
+      int tag;
+      sim::EventId id;
+      bool cancelled = false;
+    };
+    std::vector<ModelEvent> model;
+    for (int i = 0; i < 200; ++i) {
+      const sim::Time when = static_cast<sim::Time>(rng.NextBelow(50));
+      const sim::EventId id =
+          simulator.Schedule(when, [&executed, i]() { executed.push_back(i); });
+      model.push_back(ModelEvent{when, id, i, id});
+    }
+    // Cancel a random subset.
+    for (ModelEvent& event : model) {
+      if (rng.NextBool(0.3)) {
+        event.cancelled = simulator.Cancel(event.id);
+        EXPECT_TRUE(event.cancelled);
+      }
+    }
+    simulator.RunUntilIdle();
+    std::vector<ModelEvent> expected = model;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const ModelEvent& a, const ModelEvent& b) {
+                       return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+                     });
+    std::vector<int> expected_tags;
+    for (const ModelEvent& event : expected) {
+      if (!event.cancelled) {
+        expected_tags.push_back(event.tag);
+      }
+    }
+    EXPECT_EQ(executed, expected_tags) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sim_property

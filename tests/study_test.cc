@@ -1,0 +1,248 @@
+// Tests for the failure-study dataset and table computations: dataset
+// invariants (the counts the paper states exactly) and aggregate shapes
+// (computed percentages close to the published ones).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "study/export.h"
+#include "study/failure.h"
+#include "study/tables.h"
+
+namespace study {
+namespace {
+
+TEST(Dataset, Has136Failures) {
+  EXPECT_EQ(RawDataset().size(), 136u);
+  EXPECT_EQ(Dataset().size(), 136u);
+}
+
+TEST(Dataset, SourceSplitMatchesThePaper) {
+  // 88 issue-tracker failures, 16 Jepsen reports, 32 NEAT discoveries.
+  std::map<Source, int> counts;
+  for (const FailureRecord& r : RawDataset()) {
+    ++counts[r.source];
+  }
+  EXPECT_EQ(counts[Source::kTicket], 88);
+  EXPECT_EQ(counts[Source::kJepsen], 16);
+  EXPECT_EQ(counts[Source::kNeat], 32);
+}
+
+TEST(Dataset, PerSystemTotalsMatchTable1) {
+  auto rows = ComputeTable1(RawDataset());
+  std::map<System, std::pair<int, int>> expected = {
+      {System::kMongoDb, {19, 11}},     {System::kVoltDb, {4, 4}},
+      {System::kRethinkDb, {3, 3}},     {System::kHBase, {5, 3}},
+      {System::kRiak, {1, 1}},          {System::kCassandra, {4, 4}},
+      {System::kAerospike, {3, 3}},     {System::kGeode, {2, 2}},
+      {System::kRedis, {3, 2}},         {System::kHazelcast, {7, 5}},
+      {System::kElasticsearch, {22, 21}}, {System::kZooKeeper, {3, 3}},
+      {System::kHdfs, {4, 2}},          {System::kKafka, {5, 3}},
+      {System::kRabbitMq, {7, 4}},      {System::kMapReduce, {6, 2}},
+      {System::kChronos, {2, 1}},       {System::kMesos, {4, 0}},
+      {System::kInfinispan, {1, 1}},    {System::kIgnite, {15, 13}},
+      {System::kTerracotta, {9, 9}},    {System::kCeph, {2, 2}},
+      {System::kMooseFs, {2, 2}},       {System::kActiveMq, {2, 2}},
+      {System::kDkron, {1, 1}},
+  };
+  int total = 0;
+  int catastrophic = 0;
+  for (const SystemSummary& row : rows) {
+    auto it = expected.find(row.system);
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(row.total, it->second.first) << SystemName(row.system);
+    EXPECT_EQ(row.catastrophic, it->second.second) << SystemName(row.system);
+    total += row.total;
+    catastrophic += row.catastrophic;
+  }
+  EXPECT_EQ(total, 136);
+  EXPECT_EQ(catastrophic, 104);  // Table 1 total
+}
+
+TEST(Dataset, CompletionIsDeterministic) {
+  auto a = Dataset();
+  auto b = Dataset();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].client_access, b[i].client_access);
+    EXPECT_EQ(a[i].min_events, b[i].min_events);
+    EXPECT_EQ(a[i].isolation, b[i].isolation);
+    EXPECT_EQ(a[i].mechanisms.size(), b[i].mechanisms.size());
+  }
+}
+
+TEST(Dataset, GroundTruthPinsHold) {
+  for (const FailureRecord& r : Dataset()) {
+    if (r.reference == "ENG-10389") {
+      EXPECT_EQ(r.mechanisms.front(), Mechanism::kLeaderElection);
+      EXPECT_EQ(r.isolation, Isolation::kLeader);
+      EXPECT_EQ(r.min_events, 3);
+    }
+    if (r.reference == "SERVER-14885") {
+      EXPECT_EQ(r.election_flaw, ElectionFlaw::kConflictingCriteria);
+    }
+    if (r.reference == "#5289") {
+      EXPECT_EQ(r.mechanisms.front(), Mechanism::kConfigurationChange);
+      EXPECT_EQ(r.nodes_to_reproduce, 5);
+    }
+    if (r.reference == "MAPREDUCE-4819") {
+      EXPECT_EQ(r.mechanisms.front(), Mechanism::kScheduling);
+      EXPECT_EQ(r.client_access, ClientAccess::kNone);
+      EXPECT_EQ(r.ordering, Ordering::kPartitionNotFirst);
+    }
+  }
+}
+
+// Each computed table should track the paper's percentages closely; the
+// slack accounts for rounding in the published numbers and for pins that
+// override quota preferences.
+void ExpectShape(const Table& table, double tolerance) {
+  for (const TableRow& row : table.rows) {
+    EXPECT_NEAR(row.percent, row.paper_percent, tolerance)
+        << table.title << " / " << row.label;
+  }
+}
+
+TEST(Tables, ImpactDistributionMatchesTable2) {
+  ExpectShape(ComputeTable2Impact(Dataset()), 2.5);
+}
+
+TEST(Tables, MechanismsMatchTable3) { ExpectShape(ComputeTable3Mechanisms(Dataset()), 3.0); }
+
+TEST(Tables, ElectionFlawsMatchTable4) {
+  auto table = ComputeTable4ElectionFlaws(Dataset());
+  EXPECT_EQ(table.denominator, 54);  // 39.7% of 136
+  ExpectShape(table, 5.0);
+}
+
+TEST(Tables, ClientAccessMatchesTable5) { ExpectShape(ComputeTable5ClientAccess(Dataset()), 2.0); }
+
+TEST(Tables, PartitionTypesMatchTable6) {
+  auto table = ComputeTable6PartitionTypes(Dataset());
+  ExpectShape(table, 1.5);
+  // These come straight from the appendix: exact counts.
+  EXPECT_EQ(table.rows[0].count, 94);  // complete
+  EXPECT_EQ(table.rows[1].count, 39);  // partial
+  EXPECT_EQ(table.rows[2].count, 3);   // simplex
+}
+
+TEST(Tables, EventCountsMatchTable7) { ExpectShape(ComputeTable7EventCounts(Dataset()), 2.0); }
+
+TEST(Tables, EventTypesMatchTable8) { ExpectShape(ComputeTable8EventTypes(Dataset()), 3.5); }
+
+TEST(Tables, OrderingMatchesTable9) { ExpectShape(ComputeTable9Ordering(Dataset()), 2.5); }
+
+TEST(Tables, IsolationMatchesTable10) { ExpectShape(ComputeTable10Isolation(Dataset()), 2.5); }
+
+TEST(Tables, TimingMatchesTable11) { ExpectShape(ComputeTable11Timing(Dataset()), 6.0); }
+
+TEST(Tables, ResolutionMatchesTable12) {
+  auto summary = ComputeTable12Resolution(Dataset());
+  EXPECT_EQ(summary.table.denominator, 88);
+  ExpectShape(summary.table, 2.5);
+  EXPECT_NEAR(summary.design_avg_days, 205.0, 15.0);
+  EXPECT_NEAR(summary.implementation_avg_days, 81.0, 15.0);
+  // Design flaws take ~2.5x longer to resolve.
+  EXPECT_GT(summary.design_avg_days, 2.0 * summary.implementation_avg_days);
+}
+
+TEST(Tables, NodesMatchTable13) { ExpectShape(ComputeTable13Nodes(Dataset()), 2.0); }
+
+TEST(Tables, HeadlineFindingsHold) {
+  auto findings = ComputeHeadlines(Dataset());
+  EXPECT_NEAR(findings.catastrophic_percent, 80.0, 5.0);   // Finding 1
+  EXPECT_NEAR(findings.silent_percent, 90.0, 2.0);         // Finding 2
+  EXPECT_NEAR(findings.lasting_damage_percent, 21.0, 2.0); // Finding 3
+  EXPECT_NEAR(findings.single_node_isolation_percent, 88.0, 5.0);   // Finding 9 proxy
+  EXPECT_NEAR(findings.single_partition_percent, 99.0, 1.0);        // Finding 6 tail
+}
+
+TEST(Tables, AppendixTablesRenderEveryRow) {
+  auto records = Dataset();
+  const std::string t14 = FormatTable14(records);
+  const std::string t15 = FormatTable15(records);
+  // Header + 104 rows / header + 32 rows.
+  EXPECT_EQ(std::count(t14.begin(), t14.end(), '\n'), 1 + 1 + 104);
+  EXPECT_EQ(std::count(t15.begin(), t15.end(), '\n'), 1 + 1 + 32);
+  EXPECT_NE(t14.find("ENG-10389"), std::string::npos);
+  EXPECT_NE(t15.find("IGNITE-8881"), std::string::npos);
+}
+
+TEST(Tables, FormattingIncludesPaperColumn) {
+  const std::string text = FormatTable(ComputeTable2Impact(Dataset()));
+  EXPECT_NE(text.find("paper"), std::string::npos);
+  EXPECT_NE(text.find("Data loss"), std::string::npos);
+  EXPECT_FALSE(FormatTable1(ComputeTable1(Dataset())).empty());
+}
+
+TEST(Dataset, EventsAreConsistentWithMinEvents) {
+  for (const FailureRecord& r : Dataset()) {
+    if (r.min_events == 1) {
+      EXPECT_TRUE(r.events.empty()) << r.reference;
+    } else {
+      EXPECT_LE(static_cast<int>(r.events.size()), r.min_events) << r.reference;
+    }
+  }
+}
+
+TEST(Dataset, EveryRecordIsStructurallyComplete) {
+  for (const FailureRecord& r : Dataset()) {
+    EXPECT_FALSE(r.reference.empty());
+    EXPECT_FALSE(r.mechanisms.empty()) << r.reference;
+    EXPECT_GE(r.min_events, 1) << r.reference;
+    EXPECT_LE(r.min_events, 5) << r.reference;
+    EXPECT_TRUE(r.nodes_to_reproduce == 3 || r.nodes_to_reproduce == 5) << r.reference;
+    if (!r.mechanisms.empty() && r.mechanisms.front() == Mechanism::kLeaderElection) {
+      EXPECT_NE(r.election_flaw, ElectionFlaw::kNone) << r.reference;
+    }
+    if (r.resolution == Resolution::kUnresolved) {
+      EXPECT_EQ(r.resolution_days, 0) << r.reference;
+    } else {
+      EXPECT_GT(r.resolution_days, 0) << r.reference;
+    }
+  }
+}
+
+TEST(Dataset, TableDenominatorsAreConsistent) {
+  const auto records = Dataset();
+  for (const Table& table :
+       {ComputeTable5ClientAccess(records), ComputeTable6PartitionTypes(records),
+        ComputeTable7EventCounts(records), ComputeTable9Ordering(records),
+        ComputeTable10Isolation(records), ComputeTable11Timing(records),
+        ComputeTable13Nodes(records)}) {
+    int sum = 0;
+    for (const TableRow& row : table.rows) {
+      sum += row.count;
+    }
+    EXPECT_EQ(sum, table.denominator) << table.title;
+  }
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerFailure) {
+  const std::string csv = DatasetCsv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1 + 136);
+  EXPECT_EQ(csv.rfind("system,consistency,source,reference", 0), 0u);
+  EXPECT_NE(csv.find("VoltDB,Strong,issue tracker,ENG-10389,Dirty read,yes"),
+            std::string::npos);
+  EXPECT_NE(csv.find("RethinkDB"), std::string::npos);
+}
+
+TEST(Export, FieldsWithCommasAreQuoted) {
+  const std::string csv = DatasetCsv();
+  // The isolation label "Other (e.g., new node, ...)" contains commas.
+  EXPECT_NE(csv.find("\"Other (e.g., new node, source of data migration)\""),
+            std::string::npos);
+}
+
+TEST(Dataset, NeatRowsAreAllUnresolved) {
+  for (const FailureRecord& r : Dataset()) {
+    if (r.source == Source::kNeat) {
+      EXPECT_EQ(r.resolution, Resolution::kUnresolved) << r.reference;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace study
