@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cap_availability"
+  "../bench/cap_availability.pdb"
+  "CMakeFiles/cap_availability.dir/cap_availability.cc.o"
+  "CMakeFiles/cap_availability.dir/cap_availability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

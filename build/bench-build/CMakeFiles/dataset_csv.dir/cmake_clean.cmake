@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dataset_csv"
+  "../bench/dataset_csv.pdb"
+  "CMakeFiles/dataset_csv.dir/dataset_csv.cc.o"
+  "CMakeFiles/dataset_csv.dir/dataset_csv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

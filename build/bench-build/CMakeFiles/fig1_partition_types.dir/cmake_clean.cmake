@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_partition_types"
+  "../bench/fig1_partition_types.pdb"
+  "CMakeFiles/fig1_partition_types.dir/fig1_partition_types.cc.o"
+  "CMakeFiles/fig1_partition_types.dir/fig1_partition_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_partition_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

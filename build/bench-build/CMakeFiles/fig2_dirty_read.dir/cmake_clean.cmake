@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_dirty_read"
+  "../bench/fig2_dirty_read.pdb"
+  "CMakeFiles/fig2_dirty_read.dir/fig2_dirty_read.cc.o"
+  "CMakeFiles/fig2_dirty_read.dir/fig2_dirty_read.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dirty_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

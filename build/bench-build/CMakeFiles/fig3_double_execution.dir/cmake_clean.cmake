@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_double_execution"
+  "../bench/fig3_double_execution.pdb"
+  "CMakeFiles/fig3_double_execution.dir/fig3_double_execution.cc.o"
+  "CMakeFiles/fig3_double_execution.dir/fig3_double_execution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_double_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

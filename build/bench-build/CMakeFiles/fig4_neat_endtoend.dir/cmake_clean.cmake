@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_neat_endtoend"
+  "../bench/fig4_neat_endtoend.pdb"
+  "CMakeFiles/fig4_neat_endtoend.dir/fig4_neat_endtoend.cc.o"
+  "CMakeFiles/fig4_neat_endtoend.dir/fig4_neat_endtoend.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_neat_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_double_locking"
+  "../bench/fig5_double_locking.pdb"
+  "CMakeFiles/fig5_double_locking.dir/fig5_double_locking.cc.o"
+  "CMakeFiles/fig5_double_locking.dir/fig5_double_locking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_double_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

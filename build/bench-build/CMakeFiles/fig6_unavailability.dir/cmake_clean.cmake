@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_unavailability"
+  "../bench/fig6_unavailability.pdb"
+  "CMakeFiles/fig6_unavailability.dir/fig6_unavailability.cc.o"
+  "CMakeFiles/fig6_unavailability.dir/fig6_unavailability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_unavailability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

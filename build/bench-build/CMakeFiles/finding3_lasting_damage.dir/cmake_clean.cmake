@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/finding3_lasting_damage"
+  "../bench/finding3_lasting_damage.pdb"
+  "CMakeFiles/finding3_lasting_damage.dir/finding3_lasting_damage.cc.o"
+  "CMakeFiles/finding3_lasting_damage.dir/finding3_lasting_damage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finding3_lasting_damage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for finding3_lasting_damage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/finding9_single_node"
+  "../bench/finding9_single_node.pdb"
+  "CMakeFiles/finding9_single_node.dir/finding9_single_node.cc.o"
+  "CMakeFiles/finding9_single_node.dir/finding9_single_node.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finding9_single_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

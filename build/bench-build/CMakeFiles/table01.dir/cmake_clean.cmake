@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table01"
+  "../bench/table01.pdb"
+  "CMakeFiles/table01.dir/table_benches.cc.o"
+  "CMakeFiles/table01.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table02"
+  "../bench/table02.pdb"
+  "CMakeFiles/table02.dir/table_benches.cc.o"
+  "CMakeFiles/table02.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table03"
+  "../bench/table03.pdb"
+  "CMakeFiles/table03.dir/table_benches.cc.o"
+  "CMakeFiles/table03.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

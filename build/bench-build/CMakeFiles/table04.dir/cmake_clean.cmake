@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table04"
+  "../bench/table04.pdb"
+  "CMakeFiles/table04.dir/table_benches.cc.o"
+  "CMakeFiles/table04.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

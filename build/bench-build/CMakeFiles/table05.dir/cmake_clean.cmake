@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table05"
+  "../bench/table05.pdb"
+  "CMakeFiles/table05.dir/table_benches.cc.o"
+  "CMakeFiles/table05.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

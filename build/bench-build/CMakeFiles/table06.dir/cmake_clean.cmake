@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table06"
+  "../bench/table06.pdb"
+  "CMakeFiles/table06.dir/table_benches.cc.o"
+  "CMakeFiles/table06.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table07"
+  "../bench/table07.pdb"
+  "CMakeFiles/table07.dir/table_benches.cc.o"
+  "CMakeFiles/table07.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table08"
+  "../bench/table08.pdb"
+  "CMakeFiles/table08.dir/table_benches.cc.o"
+  "CMakeFiles/table08.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

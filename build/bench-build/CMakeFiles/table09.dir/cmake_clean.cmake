@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table09"
+  "../bench/table09.pdb"
+  "CMakeFiles/table09.dir/table_benches.cc.o"
+  "CMakeFiles/table09.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

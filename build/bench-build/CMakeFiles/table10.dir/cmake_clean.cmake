@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table10"
+  "../bench/table10.pdb"
+  "CMakeFiles/table10.dir/table_benches.cc.o"
+  "CMakeFiles/table10.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table11"
+  "../bench/table11.pdb"
+  "CMakeFiles/table11.dir/table_benches.cc.o"
+  "CMakeFiles/table11.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table12"
+  "../bench/table12.pdb"
+  "CMakeFiles/table12.dir/table_benches.cc.o"
+  "CMakeFiles/table12.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

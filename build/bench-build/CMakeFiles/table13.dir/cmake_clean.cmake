@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table13"
+  "../bench/table13.pdb"
+  "CMakeFiles/table13.dir/table_benches.cc.o"
+  "CMakeFiles/table13.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table14"
+  "../bench/table14.pdb"
+  "CMakeFiles/table14.dir/table_benches.cc.o"
+  "CMakeFiles/table14.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table15"
+  "../bench/table15.pdb"
+  "CMakeFiles/table15.dir/table_benches.cc.o"
+  "CMakeFiles/table15.dir/table_benches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_dequeue.dir/double_dequeue.cpp.o"
+  "CMakeFiles/double_dequeue.dir/double_dequeue.cpp.o.d"
+  "double_dequeue"
+  "double_dequeue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_dequeue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for double_dequeue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_thrash.dir/leader_thrash.cpp.o"
+  "CMakeFiles/leader_thrash.dir/leader_thrash.cpp.o.d"
+  "leader_thrash"
+  "leader_thrash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_thrash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

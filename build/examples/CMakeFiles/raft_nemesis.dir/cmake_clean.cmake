@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_nemesis.dir/raft_nemesis.cpp.o"
+  "CMakeFiles/raft_nemesis.dir/raft_nemesis.cpp.o.d"
+  "raft_nemesis"
+  "raft_nemesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_nemesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

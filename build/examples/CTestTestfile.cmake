@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;neat_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_double_dequeue "/root/repo/build/examples/double_dequeue")
+set_tests_properties(example_double_dequeue PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;neat_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_partition_explorer "/root/repo/build/examples/partition_explorer")
+set_tests_properties(example_partition_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;neat_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_leader_thrash "/root/repo/build/examples/leader_thrash")
+set_tests_properties(example_leader_thrash PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;neat_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_raft_nemesis "/root/repo/build/examples/raft_nemesis")
+set_tests_properties(example_raft_nemesis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;neat_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/checkers.cc" "src/check/CMakeFiles/neat_check.dir/checkers.cc.o" "gcc" "src/check/CMakeFiles/neat_check.dir/checkers.cc.o.d"
+  "/root/repo/src/check/history.cc" "src/check/CMakeFiles/neat_check.dir/history.cc.o" "gcc" "src/check/CMakeFiles/neat_check.dir/history.cc.o.d"
+  "/root/repo/src/check/linearizability.cc" "src/check/CMakeFiles/neat_check.dir/linearizability.cc.o" "gcc" "src/check/CMakeFiles/neat_check.dir/linearizability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/neat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

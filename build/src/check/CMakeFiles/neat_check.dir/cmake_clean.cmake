@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_check.dir/checkers.cc.o"
+  "CMakeFiles/neat_check.dir/checkers.cc.o.d"
+  "CMakeFiles/neat_check.dir/history.cc.o"
+  "CMakeFiles/neat_check.dir/history.cc.o.d"
+  "CMakeFiles/neat_check.dir/linearizability.cc.o"
+  "CMakeFiles/neat_check.dir/linearizability.cc.o.d"
+  "libneat_check.a"
+  "libneat_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_cluster.dir/failure_detector.cc.o"
+  "CMakeFiles/neat_cluster.dir/failure_detector.cc.o.d"
+  "CMakeFiles/neat_cluster.dir/process.cc.o"
+  "CMakeFiles/neat_cluster.dir/process.cc.o.d"
+  "libneat_cluster.a"
+  "libneat_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

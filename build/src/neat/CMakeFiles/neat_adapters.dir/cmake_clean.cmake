@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_adapters.dir/adapters.cc.o"
+  "CMakeFiles/neat_adapters.dir/adapters.cc.o.d"
+  "libneat_adapters.a"
+  "libneat_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_core.dir/env.cc.o"
+  "CMakeFiles/neat_core.dir/env.cc.o.d"
+  "CMakeFiles/neat_core.dir/testgen.cc.o"
+  "CMakeFiles/neat_core.dir/testgen.cc.o.d"
+  "CMakeFiles/neat_core.dir/trace_report.cc.o"
+  "CMakeFiles/neat_core.dir/trace_report.cc.o.d"
+  "libneat_core.a"
+  "libneat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_net.dir/network.cc.o"
+  "CMakeFiles/neat_net.dir/network.cc.o.d"
+  "CMakeFiles/neat_net.dir/partition.cc.o"
+  "CMakeFiles/neat_net.dir/partition.cc.o.d"
+  "libneat_net.a"
+  "libneat_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

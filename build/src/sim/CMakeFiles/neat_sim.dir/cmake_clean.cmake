@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_sim.dir/rng.cc.o"
+  "CMakeFiles/neat_sim.dir/rng.cc.o.d"
+  "CMakeFiles/neat_sim.dir/simulator.cc.o"
+  "CMakeFiles/neat_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/neat_sim.dir/time.cc.o"
+  "CMakeFiles/neat_sim.dir/time.cc.o.d"
+  "CMakeFiles/neat_sim.dir/trace.cc.o"
+  "CMakeFiles/neat_sim.dir/trace.cc.o.d"
+  "libneat_sim.a"
+  "libneat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/complete.cc" "src/study/CMakeFiles/neat_study.dir/complete.cc.o" "gcc" "src/study/CMakeFiles/neat_study.dir/complete.cc.o.d"
+  "/root/repo/src/study/dataset.cc" "src/study/CMakeFiles/neat_study.dir/dataset.cc.o" "gcc" "src/study/CMakeFiles/neat_study.dir/dataset.cc.o.d"
+  "/root/repo/src/study/export.cc" "src/study/CMakeFiles/neat_study.dir/export.cc.o" "gcc" "src/study/CMakeFiles/neat_study.dir/export.cc.o.d"
+  "/root/repo/src/study/names.cc" "src/study/CMakeFiles/neat_study.dir/names.cc.o" "gcc" "src/study/CMakeFiles/neat_study.dir/names.cc.o.d"
+  "/root/repo/src/study/tables.cc" "src/study/CMakeFiles/neat_study.dir/tables.cc.o" "gcc" "src/study/CMakeFiles/neat_study.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_study.dir/complete.cc.o"
+  "CMakeFiles/neat_study.dir/complete.cc.o.d"
+  "CMakeFiles/neat_study.dir/dataset.cc.o"
+  "CMakeFiles/neat_study.dir/dataset.cc.o.d"
+  "CMakeFiles/neat_study.dir/export.cc.o"
+  "CMakeFiles/neat_study.dir/export.cc.o.d"
+  "CMakeFiles/neat_study.dir/names.cc.o"
+  "CMakeFiles/neat_study.dir/names.cc.o.d"
+  "CMakeFiles/neat_study.dir/tables.cc.o"
+  "CMakeFiles/neat_study.dir/tables.cc.o.d"
+  "libneat_study.a"
+  "libneat_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

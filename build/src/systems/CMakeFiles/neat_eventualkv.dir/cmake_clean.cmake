@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_eventualkv.dir/eventualkv/cluster.cc.o"
+  "CMakeFiles/neat_eventualkv.dir/eventualkv/cluster.cc.o.d"
+  "CMakeFiles/neat_eventualkv.dir/eventualkv/server.cc.o"
+  "CMakeFiles/neat_eventualkv.dir/eventualkv/server.cc.o.d"
+  "libneat_eventualkv.a"
+  "libneat_eventualkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_eventualkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_locksvc.dir/locksvc/client.cc.o"
+  "CMakeFiles/neat_locksvc.dir/locksvc/client.cc.o.d"
+  "CMakeFiles/neat_locksvc.dir/locksvc/cluster.cc.o"
+  "CMakeFiles/neat_locksvc.dir/locksvc/cluster.cc.o.d"
+  "CMakeFiles/neat_locksvc.dir/locksvc/server.cc.o"
+  "CMakeFiles/neat_locksvc.dir/locksvc/server.cc.o.d"
+  "libneat_locksvc.a"
+  "libneat_locksvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_locksvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

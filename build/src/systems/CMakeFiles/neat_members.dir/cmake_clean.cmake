@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_members.dir/members/membership.cc.o"
+  "CMakeFiles/neat_members.dir/members/membership.cc.o.d"
+  "libneat_members.a"
+  "libneat_members.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_members.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

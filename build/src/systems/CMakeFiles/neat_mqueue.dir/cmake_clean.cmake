@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_mqueue.dir/mqueue/broker.cc.o"
+  "CMakeFiles/neat_mqueue.dir/mqueue/broker.cc.o.d"
+  "CMakeFiles/neat_mqueue.dir/mqueue/client.cc.o"
+  "CMakeFiles/neat_mqueue.dir/mqueue/client.cc.o.d"
+  "CMakeFiles/neat_mqueue.dir/mqueue/cluster.cc.o"
+  "CMakeFiles/neat_mqueue.dir/mqueue/cluster.cc.o.d"
+  "libneat_mqueue.a"
+  "libneat_mqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_mqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_pbkv.dir/pbkv/client.cc.o"
+  "CMakeFiles/neat_pbkv.dir/pbkv/client.cc.o.d"
+  "CMakeFiles/neat_pbkv.dir/pbkv/cluster.cc.o"
+  "CMakeFiles/neat_pbkv.dir/pbkv/cluster.cc.o.d"
+  "CMakeFiles/neat_pbkv.dir/pbkv/server.cc.o"
+  "CMakeFiles/neat_pbkv.dir/pbkv/server.cc.o.d"
+  "CMakeFiles/neat_pbkv.dir/pbkv/types.cc.o"
+  "CMakeFiles/neat_pbkv.dir/pbkv/types.cc.o.d"
+  "libneat_pbkv.a"
+  "libneat_pbkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_pbkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_raftkv.dir/raftkv/client.cc.o"
+  "CMakeFiles/neat_raftkv.dir/raftkv/client.cc.o.d"
+  "CMakeFiles/neat_raftkv.dir/raftkv/cluster.cc.o"
+  "CMakeFiles/neat_raftkv.dir/raftkv/cluster.cc.o.d"
+  "CMakeFiles/neat_raftkv.dir/raftkv/server.cc.o"
+  "CMakeFiles/neat_raftkv.dir/raftkv/server.cc.o.d"
+  "libneat_raftkv.a"
+  "libneat_raftkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_raftkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

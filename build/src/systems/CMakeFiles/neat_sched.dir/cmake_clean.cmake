@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_sched.dir/sched/cluster.cc.o"
+  "CMakeFiles/neat_sched.dir/sched/cluster.cc.o.d"
+  "CMakeFiles/neat_sched.dir/sched/processes.cc.o"
+  "CMakeFiles/neat_sched.dir/sched/processes.cc.o.d"
+  "libneat_sched.a"
+  "libneat_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_zk.dir/zk/registry.cc.o"
+  "CMakeFiles/neat_zk.dir/zk/registry.cc.o.d"
+  "libneat_zk.a"
+  "libneat_zk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_zk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

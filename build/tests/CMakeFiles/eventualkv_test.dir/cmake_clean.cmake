@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventualkv_test.dir/eventualkv_test.cc.o"
+  "CMakeFiles/eventualkv_test.dir/eventualkv_test.cc.o.d"
+  "eventualkv_test"
+  "eventualkv_test.pdb"
+  "eventualkv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventualkv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locksvc_test.dir/locksvc_test.cc.o"
+  "CMakeFiles/locksvc_test.dir/locksvc_test.cc.o.d"
+  "locksvc_test"
+  "locksvc_test.pdb"
+  "locksvc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locksvc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/members_test.dir/members_test.cc.o"
+  "CMakeFiles/members_test.dir/members_test.cc.o.d"
+  "members_test"
+  "members_test.pdb"
+  "members_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/members_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqueue_test.dir/mqueue_test.cc.o"
+  "CMakeFiles/mqueue_test.dir/mqueue_test.cc.o.d"
+  "mqueue_test"
+  "mqueue_test.pdb"
+  "mqueue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

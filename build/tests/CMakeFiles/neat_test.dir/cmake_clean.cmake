@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_test.dir/neat_test.cc.o"
+  "CMakeFiles/neat_test.dir/neat_test.cc.o.d"
+  "neat_test"
+  "neat_test.pdb"
+  "neat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

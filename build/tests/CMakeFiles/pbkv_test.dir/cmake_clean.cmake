@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbkv_test.dir/pbkv_test.cc.o"
+  "CMakeFiles/pbkv_test.dir/pbkv_test.cc.o.d"
+  "pbkv_test"
+  "pbkv_test.pdb"
+  "pbkv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbkv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

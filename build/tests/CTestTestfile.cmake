@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/check_test[1]_include.cmake")
+include("/root/repo/build/tests/pbkv_test[1]_include.cmake")
+include("/root/repo/build/tests/locksvc_test[1]_include.cmake")
+include("/root/repo/build/tests/zk_test[1]_include.cmake")
+include("/root/repo/build/tests/mqueue_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/raftkv_test[1]_include.cmake")
+include("/root/repo/build/tests/neat_test[1]_include.cmake")
+include("/root/repo/build/tests/study_test[1]_include.cmake")
+include("/root/repo/build/tests/eventualkv_test[1]_include.cmake")
+include("/root/repo/build/tests/members_test[1]_include.cmake")
+include("/root/repo/build/tests/nemesis_test[1]_include.cmake")
