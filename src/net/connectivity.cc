@@ -1,0 +1,94 @@
+#include "net/connectivity.h"
+
+namespace net {
+
+ConnectivityCache::ConnectivityCache(PartitionBackend* backend) : backend_(backend) {
+  backend_->Attach(this);
+  synced_epoch_ = backend_->epoch();
+}
+
+ConnectivityCache::~ConnectivityCache() { backend_->Detach(this); }
+
+void ConnectivityCache::AddNode(NodeId node) {
+  if (node < 0 || Tracks(node)) {
+    return;
+  }
+  if (static_cast<size_t>(node) >= index_.size()) {
+    index_.resize(static_cast<size_t>(node) + 1, -1);
+  }
+  index_[node] = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  Rebuild();
+}
+
+void ConnectivityCache::Rebuild() {
+  stride_words_ = (nodes_.size() + 63) / 64;
+  bits_.assign(nodes_.size() * stride_words_, 0);
+  for (size_t si = 0; si < nodes_.size(); ++si) {
+    for (size_t di = 0; di < nodes_.size(); ++di) {
+      SetBit(static_cast<int>(si), static_cast<int>(di),
+             backend_->Allows(nodes_[si], nodes_[di]));
+    }
+  }
+  synced_epoch_ = backend_->epoch();
+  ++full_rebuilds_;
+}
+
+void ConnectivityCache::SetBit(int src_index, int dst_index, bool allowed) {
+  const size_t bit = static_cast<size_t>(src_index) * stride_words_ * 64 +
+                     static_cast<size_t>(dst_index);
+  if (allowed) {
+    bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+  } else {
+    bits_[bit / 64] &= ~(uint64_t{1} << (bit % 64));
+  }
+}
+
+bool ConnectivityCache::Allows(NodeId src, NodeId dst) const {
+  if (src == dst) {
+    return true;
+  }
+  const int si = IndexOf(src);
+  const int di = IndexOf(dst);
+  if (si < 0 || di < 0 || synced_epoch_ != backend_->epoch()) {
+    ++fallback_queries_;
+    return backend_->Allows(src, dst);
+  }
+  return GetBit(si, di);
+}
+
+void ConnectivityCache::OnBlock(const Group& srcs, const Group& dsts) {
+  for (NodeId s : srcs) {
+    const int si = IndexOf(s);
+    if (si < 0) {
+      continue;
+    }
+    for (NodeId d : dsts) {
+      const int di = IndexOf(d);
+      if (di < 0 || s == d) {
+        continue;
+      }
+      SetBit(si, di, false);
+      ++patched_pairs_;
+    }
+  }
+  synced_epoch_ = backend_->epoch();
+}
+
+void ConnectivityCache::OnUnblock(const std::vector<std::pair<NodeId, NodeId>>& coverage) {
+  // Update the epoch first: the backend has already removed the rule, so its
+  // Allows answers (queried below) reflect the new epoch.
+  synced_epoch_ = backend_->epoch();
+  for (const auto& [s, d] : coverage) {
+    const int si = IndexOf(s);
+    const int di = IndexOf(d);
+    if (si < 0 || di < 0) {
+      continue;
+    }
+    // An overlapping rule may still cut the pair, so re-derive the verdict.
+    SetBit(si, di, backend_->Allows(s, d));
+    ++patched_pairs_;
+  }
+}
+
+}  // namespace net

@@ -1,0 +1,89 @@
+// Cached connectivity: an N×N allowed-bitmap over the registered nodes.
+//
+// The partition backends answer Allows(src, dst) by consulting their rule
+// tables — a linear scan for the switch, two chain lookups for the firewall
+// — so every simulated packet gets slower as a test injects more faults,
+// exactly when NEAT-style sweeps need the most throughput. A
+// ConnectivityCache attaches to a PartitionBackend as an observer: every
+// Block clears the covered bits directly, every Unblock re-derives the
+// covered bits from the backend (an unblocked pair may still be cut by an
+// overlapping rule), and an epoch counter detects any staleness, falling
+// back to the authoritative backend verdict. Queries over tracked nodes are
+// a single bit test, independent of the number of installed rules.
+//
+// The cache must not outlive its backend (it detaches in its destructor).
+
+#ifndef NET_CONNECTIVITY_H_
+#define NET_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/message.h"
+#include "net/partition.h"
+
+namespace net {
+
+class ConnectivityCache {
+ public:
+  explicit ConnectivityCache(PartitionBackend* backend);
+  ~ConnectivityCache();
+
+  ConnectivityCache(const ConnectivityCache&) = delete;
+  ConnectivityCache& operator=(const ConnectivityCache&) = delete;
+
+  // Starts tracking a node; idempotent. Rebuilds the matrix from the backend
+  // so rules installed before registration are reflected.
+  void AddNode(NodeId node);
+
+  // O(1) verdict for tracked (src, dst) pairs; untracked nodes or a stale
+  // epoch fall back to the backend's authoritative answer.
+  bool Allows(NodeId src, NodeId dst) const;
+
+  bool Tracks(NodeId node) const { return IndexOf(node) >= 0; }
+  size_t node_count() const { return nodes_.size(); }
+
+  // The backend epoch the bitmap reflects; equal to backend->epoch() while
+  // the cache is coherent.
+  uint64_t synced_epoch() const { return synced_epoch_; }
+
+  // Introspection for tests and benches.
+  uint64_t full_rebuilds() const { return full_rebuilds_; }
+  uint64_t patched_pairs() const { return patched_pairs_; }
+  uint64_t fallback_queries() const { return fallback_queries_; }
+
+ private:
+  friend class PartitionBackend;
+
+  // Observer hooks, invoked by the backend after each mutation.
+  void OnBlock(const Group& srcs, const Group& dsts);
+  void OnUnblock(const std::vector<std::pair<NodeId, NodeId>>& coverage);
+
+  // Recomputes the whole bitmap from the backend.
+  void Rebuild();
+
+  int IndexOf(NodeId node) const {
+    return node >= 0 && static_cast<size_t>(node) < index_.size() ? index_[node] : -1;
+  }
+  void SetBit(int src_index, int dst_index, bool allowed);
+  bool GetBit(int src_index, int dst_index) const {
+    const size_t bit = static_cast<size_t>(src_index) * stride_words_ * 64 +
+                       static_cast<size_t>(dst_index);
+    return (bits_[bit / 64] >> (bit % 64)) & 1;
+  }
+
+  PartitionBackend* backend_;
+  std::vector<NodeId> nodes_;
+  std::vector<int32_t> index_;  // NodeId -> dense index, -1 when untracked
+  std::vector<uint64_t> bits_;  // row-major; one row per src node
+  size_t stride_words_ = 0;     // 64-bit words per row
+  uint64_t synced_epoch_ = 0;
+  uint64_t full_rebuilds_ = 0;
+  uint64_t patched_pairs_ = 0;
+  mutable uint64_t fallback_queries_ = 0;
+};
+
+}  // namespace net
+
+#endif  // NET_CONNECTIVITY_H_

@@ -12,9 +12,12 @@ std::string LinkString(NodeId src, NodeId dst) {
 }  // namespace
 
 void Network::Register(NodeId node, Handler handler) {
+  connectivity_.AddNode(node);
   if (handler) {
     handlers_[node] = std::move(handler);
   } else {
+    // Crashed node: stays in the universe (and the connectivity cache) with
+    // no handler; deliveries to it count as "no receiver" drops.
     handlers_[node] = nullptr;
   }
 }
@@ -40,7 +43,7 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Message> msg) {
   ++messages_sent_;
   Envelope envelope{src, dst, simulator_->Now(), std::move(msg)};
 
-  if (!backend_->Allows(src, dst)) {
+  if (!connectivity_.Allows(src, dst)) {
     ++messages_dropped_;
     simulator_->Trace().Append(simulator_->Now(), "net", "drop",
                                LinkString(src, dst) + " " + envelope.msg->TypeName() +
@@ -48,7 +51,7 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Message> msg) {
     return;
   }
   auto loss = link_loss_.find({src, dst});
-  if (loss != link_loss_.end() && simulator_->Rand().NextBool(loss->second)) {
+  if (loss != link_loss_.end() && rng_.NextBool(loss->second)) {
     ++messages_dropped_;
     simulator_->Trace().Append(simulator_->Now(), "net", "drop",
                                LinkString(src, dst) + " " + envelope.msg->TypeName() +
@@ -59,7 +62,7 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Message> msg) {
   sim::Duration delay = latency_.base;
   if (latency_.jitter > 0) {
     delay += static_cast<sim::Duration>(
-        simulator_->Rand().NextBelow(static_cast<uint64_t>(latency_.jitter) + 1));
+        rng_.NextBelow(static_cast<uint64_t>(latency_.jitter) + 1));
   }
   simulator_->Schedule(delay, [this, envelope = std::move(envelope)]() mutable {
     Deliver(std::move(envelope));
@@ -69,7 +72,7 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Message> msg) {
 void Network::Deliver(Envelope envelope) {
   // A partition installed while the packet was in flight also kills it:
   // switches and firewalls drop queued packets when rules change.
-  if (!backend_->Allows(envelope.src, envelope.dst)) {
+  if (!connectivity_.Allows(envelope.src, envelope.dst)) {
     ++messages_dropped_;
     simulator_->Trace().Append(simulator_->Now(), "net", "drop",
                                LinkString(envelope.src, envelope.dst) + " " +

@@ -5,6 +5,15 @@
 // model, and optional per-link flakiness, then schedules delivery on the
 // simulator. Dropped messages are recorded in the trace log, which is how
 // scenario tests explain which partition rule bit.
+//
+// Partition verdicts are read from a ConnectivityCache over the registered
+// nodes, so the per-packet cost is O(1) no matter how many rules a test has
+// installed; the backends keep the cache coherent on every Block/Unblock.
+//
+// All network randomness (link-loss draws, latency jitter) comes from a
+// dedicated RNG substream forked from the simulator's seed at construction,
+// so toggling jitter or flakiness never perturbs the random decisions the
+// systems under test make from the simulator's own stream.
 
 #ifndef NET_NETWORK_H_
 #define NET_NETWORK_H_
@@ -15,8 +24,10 @@
 #include <memory>
 #include <utility>
 
+#include "net/connectivity.h"
 #include "net/message.h"
 #include "net/partition.h"
+#include "sim/rng.h"
 #include "sim/simulator.h"
 
 namespace net {
@@ -31,18 +42,28 @@ class Network {
   using Handler = std::function<void(const Envelope&)>;
 
   Network(sim::Simulator* simulator, PartitionBackend* backend)
-      : simulator_(simulator), backend_(backend) {}
+      : simulator_(simulator),
+        backend_(backend),
+        connectivity_(backend),
+        rng_(simulator->Rand().Fork()) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   // Attaches a process. Re-registering a NodeId replaces its handler (used
-  // by restart). Pass a null handler to detach.
+  // by restart).
+  //
+  // Crashed-node semantics: passing a null handler detaches the process but
+  // keeps the node in Universe() — a crashed host is still a host, with an
+  // address, firewall chains, and switch ports; it just answers nothing.
+  // Messages to it still traverse the partition rules and latency model and
+  // are dropped at delivery time, counted as "no receiver" drops (same as
+  // messages to a node that never registered).
   void Register(NodeId node, Handler handler);
 
   // Sends a message. The message is dropped when the partition backend
   // forbids the link at send or delivery time, when the link is flaky and
-  // the loss draw fires, or when the destination is not registered.
+  // the loss draw fires, or when the destination has no handler.
   void Send(NodeId src, NodeId dst, std::shared_ptr<const Message> msg);
 
   // Convenience for freshly constructed message objects.
@@ -59,9 +80,11 @@ class Network {
   const LatencyModel& latency() const { return latency_; }
 
   PartitionBackend* backend() const { return backend_; }
+  const ConnectivityCache& connectivity() const { return connectivity_; }
   sim::Simulator* simulator() const { return simulator_; }
 
   // All node ids ever registered, in order (the partition API's universe).
+  // Includes crashed (null-handler) nodes.
   Group Universe() const;
 
   uint64_t messages_sent() const { return messages_sent_; }
@@ -73,6 +96,8 @@ class Network {
 
   sim::Simulator* simulator_;
   PartitionBackend* backend_;
+  ConnectivityCache connectivity_;
+  sim::Rng rng_;  // network-private substream: loss + jitter draws only
   LatencyModel latency_;
   std::map<NodeId, Handler> handlers_;
   std::map<std::pair<NodeId, NodeId>, double> link_loss_;

@@ -2,11 +2,61 @@
 
 #include <algorithm>
 
+#include "net/connectivity.h"
+
 namespace net {
+namespace {
+
+// Removes duplicate entries while preserving first-occurrence order.
+Group Dedup(const Group& group) {
+  Group out;
+  out.reserve(group.size());
+  for (NodeId n : group) {
+    if (std::find(out.begin(), out.end(), n) == out.end()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- PartitionBackend ---
+
+PartitionBackend::~PartitionBackend() = default;
+
+void PartitionBackend::Attach(ConnectivityCache* cache) { caches_.push_back(cache); }
+
+void PartitionBackend::Detach(ConnectivityCache* cache) {
+  caches_.erase(std::remove(caches_.begin(), caches_.end(), cache), caches_.end());
+}
+
+RuleId PartitionBackend::Block(const Group& srcs, const Group& dsts) {
+  const Group src_group = Dedup(srcs);
+  const Group dst_group = Dedup(dsts);
+  const RuleId id = DoBlock(src_group, dst_group);
+  ++epoch_;
+  for (ConnectivityCache* cache : caches_) {
+    cache->OnBlock(src_group, dst_group);
+  }
+  return id;
+}
+
+bool PartitionBackend::Unblock(RuleId id) {
+  std::vector<Link> coverage;
+  if (!DoUnblock(id, &coverage)) {
+    return false;
+  }
+  ++epoch_;
+  for (ConnectivityCache* cache : caches_) {
+    cache->OnUnblock(coverage);
+  }
+  return true;
+}
 
 // --- SwitchPartitioner ---
 
-bool SwitchPartitioner::Allows(NodeId src, NodeId dst) const {
+bool SwitchPartitioner::AllowsLink(NodeId src, NodeId dst) const {
   // Drop rules have priority over the default learning-switch forwarding.
   for (const auto& [id, rule] : rules_) {
     if (rule.srcs.count(src) != 0 && rule.dsts.count(dst) != 0) {
@@ -16,7 +66,7 @@ bool SwitchPartitioner::Allows(NodeId src, NodeId dst) const {
   return true;
 }
 
-RuleId SwitchPartitioner::Block(const Group& srcs, const Group& dsts) {
+RuleId SwitchPartitioner::DoBlock(const Group& srcs, const Group& dsts) {
   FlowRule rule;
   rule.srcs.insert(srcs.begin(), srcs.end());
   rule.dsts.insert(dsts.begin(), dsts.end());
@@ -25,11 +75,25 @@ RuleId SwitchPartitioner::Block(const Group& srcs, const Group& dsts) {
   return id;
 }
 
-bool SwitchPartitioner::Unblock(RuleId id) { return rules_.erase(id) != 0; }
+bool SwitchPartitioner::DoUnblock(RuleId id, std::vector<Link>* coverage) {
+  auto it = rules_.find(id);
+  if (it == rules_.end()) {
+    return false;
+  }
+  for (NodeId s : it->second.srcs) {
+    for (NodeId d : it->second.dsts) {
+      if (s != d) {
+        coverage->emplace_back(s, d);
+      }
+    }
+  }
+  rules_.erase(it);
+  return true;
+}
 
 // --- FirewallPartitioner ---
 
-bool FirewallPartitioner::Allows(NodeId src, NodeId dst) const {
+bool FirewallPartitioner::AllowsLink(NodeId src, NodeId dst) const {
   auto src_it = hosts_.find(src);
   if (src_it != hosts_.end()) {
     auto egress = src_it->second.egress_drop.find(dst);
@@ -47,34 +111,49 @@ bool FirewallPartitioner::Allows(NodeId src, NodeId dst) const {
   return true;
 }
 
-RuleId FirewallPartitioner::Block(const Group& srcs, const Group& dsts) {
+RuleId FirewallPartitioner::DoBlock(const Group& srcs, const Group& dsts) {
   const RuleId id = next_id_++;
-  live_rules_.insert(id);
+  std::vector<ChainRef>& refs = rule_index_[id];
   for (NodeId s : srcs) {
     for (NodeId d : dsts) {
+      if (s == d) {
+        continue;  // self traffic never traverses a chain
+      }
       hosts_[s].egress_drop[d].insert(id);
       hosts_[d].ingress_drop[s].insert(id);
+      refs.push_back(ChainRef{s, d, /*egress=*/true});
+      refs.push_back(ChainRef{d, s, /*egress=*/false});
     }
   }
   return id;
 }
 
-bool FirewallPartitioner::Unblock(RuleId id) {
-  if (live_rules_.erase(id) == 0) {
+bool FirewallPartitioner::DoUnblock(RuleId id, std::vector<Link>* coverage) {
+  auto it = rule_index_.find(id);
+  if (it == rule_index_.end()) {
     return false;
   }
-  for (auto& [node, chains] : hosts_) {
-    for (auto& [peer, ids] : chains.egress_drop) {
-      ids.erase(id);
+  for (const ChainRef& ref : it->second) {
+    auto host_it = hosts_.find(ref.host);
+    if (host_it == hosts_.end()) {
+      continue;
     }
-    for (auto& [peer, ids] : chains.ingress_drop) {
-      ids.erase(id);
+    auto& chains =
+        ref.egress ? host_it->second.egress_drop : host_it->second.ingress_drop;
+    auto chain_it = chains.find(ref.peer);
+    if (chain_it != chains.end()) {
+      chain_it->second.erase(id);
+      if (chain_it->second.empty()) {
+        chains.erase(chain_it);
+      }
+    }
+    if (ref.egress) {
+      coverage->emplace_back(ref.host, ref.peer);
     }
   }
+  rule_index_.erase(it);
   return true;
 }
-
-size_t FirewallPartitioner::rule_count() const { return live_rules_.size(); }
 
 // --- Partitioner ---
 

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -14,38 +15,45 @@ EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
 
 EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
   assert(when >= now_ && "cannot schedule in the past");
-  const QueueKey key{when, next_seq_};
   const EventId id = next_seq_;
   ++next_seq_;
-  queue_.emplace(key, std::move(fn));
-  index_.emplace(id, key);
+  heap_.push_back(Event{when, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+  live_.insert(id);
   return id;
 }
 
 bool Simulator::Cancel(EventId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) {
-    return false;
+  // Lazy cancellation: the heap entry stays as a tombstone and is discarded
+  // when it reaches the top.
+  return live_.erase(id) != 0;
+}
+
+void Simulator::DropCancelled() {
+  while (!heap_.empty() && live_.count(heap_.front().seq) == 0) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+    heap_.pop_back();
   }
-  queue_.erase(it->second);
-  index_.erase(it);
-  return true;
+}
+
+bool Simulator::QueueEmpty() {
+  DropCancelled();
+  return heap_.empty();
 }
 
 void Simulator::RunOne() {
-  auto it = queue_.begin();
-  const QueueKey key = it->first;
-  std::function<void()> fn = std::move(it->second);
-  queue_.erase(it);
-  index_.erase(key.seq);
-  now_ = key.when;
+  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  live_.erase(event.seq);
+  now_ = event.when;
   ++events_executed_;
-  fn();
+  event.fn();
 }
 
 uint64_t Simulator::RunUntilIdle() {
   uint64_t n = 0;
-  while (!queue_.empty()) {
+  while (!QueueEmpty()) {
     RunOne();
     ++n;
   }
@@ -54,7 +62,7 @@ uint64_t Simulator::RunUntilIdle() {
 
 uint64_t Simulator::RunUntil(Time deadline) {
   uint64_t n = 0;
-  while (!queue_.empty() && queue_.begin()->first.when <= deadline) {
+  while (!QueueEmpty() && NextEventTime() <= deadline) {
     RunOne();
     ++n;
   }
@@ -70,7 +78,7 @@ bool Simulator::RunUntilPredicate(const std::function<bool()>& pred, Time deadli
   if (pred()) {
     return true;
   }
-  while (!queue_.empty() && queue_.begin()->first.when <= deadline) {
+  while (!QueueEmpty() && NextEventTime() <= deadline) {
     RunOne();
     if (pred()) {
       return true;

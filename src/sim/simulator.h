@@ -5,14 +5,22 @@
 // (time, sequence) order, so execution is fully deterministic for a given
 // seed and schedule. Events can be cancelled, which is how crashed processes
 // retract their pending timers.
+//
+// The queue is a binary min-heap ordered by (time, sequence) with lazy
+// cancellation: Cancel() just drops the event id from the live set (O(1))
+// and the tombstoned heap entry is discarded when it surfaces. This makes
+// Schedule/Cancel/pop all O(log n) or better — the previous std::map queue
+// paid rebalancing on every operation — while preserving the exact total
+// order (sequence numbers are unique, so ties cannot reorder).
 
 #ifndef SIM_SIMULATOR_H_
 #define SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -62,25 +70,37 @@ class Simulator {
   bool RunUntilPredicate(const std::function<bool()>& pred, Time deadline);
 
   uint64_t events_executed() const { return events_executed_; }
-  size_t pending_events() const { return queue_.size(); }
+  // Scheduled events that are neither run nor cancelled (tombstoned heap
+  // entries are excluded).
+  size_t pending_events() const { return live_.size(); }
 
  private:
-  struct QueueKey {
+  struct Event {
     Time when;
-    uint64_t seq;
-    bool operator<(const QueueKey& other) const {
-      return when != other.when ? when < other.when : seq < other.seq;
+    uint64_t seq;  // doubles as the EventId
+    std::function<void()> fn;
+  };
+  // Min-heap comparator for std::push_heap/pop_heap (which build max-heaps).
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
     }
   };
 
-  // Pops and runs the earliest event. Requires a non-empty queue.
+  // Pops cancelled entries off the top until the heap is empty or live.
+  void DropCancelled();
+  // True when no live event remains (prunes tombstones first).
+  bool QueueEmpty();
+  // The time of the earliest live event. Requires !QueueEmpty().
+  Time NextEventTime() const { return heap_.front().when; }
+  // Pops and runs the earliest live event. Requires !QueueEmpty().
   void RunOne();
 
   Time now_ = kTimeZero;
   uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
-  std::map<QueueKey, std::function<void()>> queue_;
-  std::map<EventId, QueueKey> index_;
+  std::vector<Event> heap_;
+  std::unordered_set<EventId> live_;
   Rng rng_;
   TraceLog trace_;
 };

@@ -40,6 +40,42 @@ TEST(TestEnvTest, CrashAndRestartThroughTheEnv) {
   EXPECT_FALSE(env.FindProcess(1)->crashed());
 }
 
+TEST(TestEnvTest, CrashedNodeStaysInUniverseAndDropsAsNoReceiver) {
+  // Crashed-node semantics: crash() detaches the process's handler but the
+  // node keeps its network address — the universe (and therefore Rest()) is
+  // unchanged, peers' traffic to it drops as "no receiver", and restart()
+  // resumes delivery.
+  pbkv::Cluster::Config config;
+  PbkvSystem system(config);
+  TestEnv& env = system.Env();
+  env.Sleep(sim::Milliseconds(300));
+  const net::Group universe_before = env.network().Universe();
+
+  env.Crash({1});
+  EXPECT_EQ(env.network().Universe(), universe_before);
+  const auto no_receiver_drops_to = [&env](net::NodeId node) {
+    size_t count = 0;
+    const std::string link = "->" + std::to_string(node) + " ";
+    for (const auto& record : env.simulator().Trace().Filter("net")) {
+      if (record.detail.find("no receiver") != std::string::npos &&
+          record.detail.find(link) != std::string::npos) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  const size_t drops_at_crash = no_receiver_drops_to(1);
+  env.Sleep(sim::Seconds(1));
+  // Heartbeats kept flowing to the crashed node and died as "no receiver".
+  EXPECT_GT(no_receiver_drops_to(1), drops_at_crash);
+
+  env.Restart({1});
+  const size_t drops_at_restart = no_receiver_drops_to(1);
+  env.Sleep(sim::Seconds(1));
+  EXPECT_EQ(no_receiver_drops_to(1), drops_at_restart);
+  EXPECT_TRUE(system.GetStatus());
+}
+
 TEST(TestEnvTest, ShutdownCrashesEveryServer) {
   pbkv::Cluster::Config config;
   PbkvSystem system(config);

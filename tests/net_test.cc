@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "net/connectivity.h"
 #include "net/message.h"
 #include "net/network.h"
 #include "net/partition.h"
@@ -81,6 +83,35 @@ TEST_P(BackendTest, RuleCountTracksInstalls) {
   EXPECT_EQ(backend_->rule_count(), 2u);
   backend_->Unblock(a);
   EXPECT_EQ(backend_->rule_count(), 1u);
+}
+
+TEST_P(BackendTest, SelfTrafficIsAlwaysAllowed) {
+  // Regression: overlapping groups used to install rules that cut a node's
+  // traffic to itself; self links must be immune to every rule.
+  backend_->Block({1}, {1});
+  EXPECT_TRUE(backend_->Allows(1, 1));
+  backend_->Block({1, 2}, {2, 3});
+  EXPECT_TRUE(backend_->Allows(2, 2));
+  EXPECT_FALSE(backend_->Allows(1, 2));
+  EXPECT_FALSE(backend_->Allows(2, 3));
+}
+
+TEST_P(BackendTest, DuplicateGroupEntriesAreDeduped) {
+  RuleId rule = backend_->Block({1, 1, 1}, {2, 2});
+  EXPECT_EQ(backend_->rule_count(), 1u);
+  EXPECT_FALSE(backend_->Allows(1, 2));
+  EXPECT_TRUE(backend_->Unblock(rule));
+  EXPECT_TRUE(backend_->Allows(1, 2));
+}
+
+TEST_P(BackendTest, EpochAdvancesOnEveryMutation) {
+  const uint64_t start = backend_->epoch();
+  RuleId rule = backend_->Block({1}, {2});
+  EXPECT_EQ(backend_->epoch(), start + 1);
+  EXPECT_TRUE(backend_->Unblock(rule));
+  EXPECT_EQ(backend_->epoch(), start + 2);
+  EXPECT_FALSE(backend_->Unblock(rule));  // failed unblock: no epoch bump
+  EXPECT_EQ(backend_->epoch(), start + 2);
 }
 
 TEST_P(BackendTest, BackendsAgreeOnRandomRuleSets) {
@@ -177,6 +208,22 @@ TEST_P(PartitionerTest, OverlappingPartitionsHealIndependently) {
   EXPECT_TRUE(backend_->Allows(1, 3));
 }
 
+TEST_P(PartitionerTest, OverlappingGroupsNeverCutSelfTraffic) {
+  // Regression: a node listed on both sides of a Complete/Partial partition
+  // must keep Allows(n, n) == true (its traffic to itself never leaves the
+  // host), while still being cut from everyone else.
+  Partition p = partitioner_->Complete({1, 2}, {2, 3});
+  EXPECT_TRUE(backend_->Allows(2, 2));
+  EXPECT_FALSE(backend_->Allows(1, 2));
+  EXPECT_FALSE(backend_->Allows(2, 1));
+  EXPECT_FALSE(backend_->Allows(2, 3));
+  EXPECT_FALSE(backend_->Allows(3, 2));
+  partitioner_->Heal(p);
+  EXPECT_TRUE(backend_->Allows(1, 2));
+  EXPECT_TRUE(backend_->Allows(2, 3));
+  EXPECT_EQ(backend_->rule_count(), 0u);
+}
+
 TEST_P(PartitionerTest, RestReturnsComplement) {
   Group universe{1, 2, 3, 4, 5};
   EXPECT_EQ(Partitioner::Rest(universe, {2, 4}), (Group{1, 3, 5}));
@@ -185,6 +232,58 @@ TEST_P(PartitionerTest, RestReturnsComplement) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, PartitionerTest, ::testing::Values("switch", "firewall"),
+                         [](const auto& param_info) { return param_info.param; });
+
+class ConnectivityCacheTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    backend_ = MakeBackend(GetParam());
+    cache_ = std::make_unique<ConnectivityCache>(backend_.get());
+    for (NodeId n = 1; n <= 6; ++n) {
+      cache_->AddNode(n);
+    }
+  }
+  std::unique_ptr<PartitionBackend> backend_;
+  std::unique_ptr<ConnectivityCache> cache_;
+};
+
+TEST_P(ConnectivityCacheTest, PatchesOnBlockAndUnblock) {
+  EXPECT_TRUE(cache_->Allows(1, 2));
+  RuleId a = backend_->Block({1}, {2});
+  RuleId b = backend_->Block({1, 3}, {2, 4});
+  EXPECT_FALSE(cache_->Allows(1, 2));
+  EXPECT_FALSE(cache_->Allows(3, 4));
+  backend_->Unblock(a);
+  EXPECT_FALSE(cache_->Allows(1, 2));  // still cut by the overlapping rule b
+  backend_->Unblock(b);
+  EXPECT_TRUE(cache_->Allows(1, 2));
+  EXPECT_TRUE(cache_->Allows(3, 4));
+  EXPECT_EQ(cache_->synced_epoch(), backend_->epoch());
+  EXPECT_EQ(cache_->fallback_queries(), 0u);
+}
+
+TEST_P(ConnectivityCacheTest, ReflectsRulesInstalledBeforeTracking) {
+  backend_->Block({1}, {9});
+  cache_->AddNode(9);  // rebuild picks up the pre-existing rule
+  EXPECT_FALSE(cache_->Allows(1, 9));
+  EXPECT_TRUE(cache_->Allows(9, 1));
+}
+
+TEST_P(ConnectivityCacheTest, UntrackedNodesFallBackToTheBackend) {
+  backend_->Block({1}, {42});
+  EXPECT_FALSE(cache_->Allows(1, 42));
+  EXPECT_TRUE(cache_->Allows(42, 1));
+  EXPECT_GT(cache_->fallback_queries(), 0u);
+}
+
+TEST_P(ConnectivityCacheTest, SelfTrafficAlwaysAllowed) {
+  backend_->Block({1, 2}, {2, 3});
+  EXPECT_TRUE(cache_->Allows(2, 2));
+  EXPECT_TRUE(cache_->Allows(7, 7));  // even untracked
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ConnectivityCacheTest,
+                         ::testing::Values("switch", "firewall"),
                          [](const auto& param_info) { return param_info.param; });
 
 class NetworkTest : public ::testing::Test {
@@ -260,6 +359,25 @@ TEST_F(NetworkTest, UniverseListsRegisteredNodes) {
   EXPECT_EQ(network_.Universe(), (Group{1, 2}));
 }
 
+TEST_F(NetworkTest, CrashedNodeStaysInUniverseAndDropsAsNoReceiver) {
+  // Crashed-node semantics: a null handler detaches the process but the node
+  // keeps its address — Universe() is unchanged and traffic to it is dropped
+  // at delivery as "no receiver".
+  network_.Register(2, nullptr);
+  EXPECT_EQ(network_.Universe(), (Group{1, 2}));
+  network_.SendNew<Ping>(1, 2);
+  simulator_.RunUntilIdle();
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+  auto drops = simulator_.Trace().Filter("net");
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_NE(drops[0].detail.find("no receiver"), std::string::npos);
+  // Re-registering (restart) resumes delivery.
+  network_.Register(2, [this](const Envelope& e) { received_by_2_.push_back(e); });
+  network_.SendNew<Ping>(1, 2);
+  simulator_.RunUntilIdle();
+  EXPECT_EQ(received_by_2_.size(), 1u);
+}
+
 TEST_F(NetworkTest, DropTraceNamesThePartitionedLink) {
   backend_.Block({1}, {2});
   network_.SendNew<Ping>(1, 2);
@@ -322,6 +440,101 @@ TEST(NetworkProperty, NothingCrossesAStaticPartition) {
             << kind << " let " << src << "->" << dst << " cross the partition";
       }
     }
+  }
+}
+
+// Property: after any randomized sequence of Block/Unblock/Complete/Partial/
+// Simplex/Heal (with duplicated and overlapping groups), both backends and
+// both connectivity caches give the same verdict for every pair — including
+// an untracked node that exercises the cache's fallback path.
+TEST(NetworkProperty, BackendsAndCachesAgreeUnderChurn) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    sim::Rng rng(seed * 101);
+    net::SwitchPartitioner sw;
+    net::FirewallPartitioner fw;
+    net::ConnectivityCache sw_cache(&sw);
+    net::ConnectivityCache fw_cache(&fw);
+    for (net::NodeId n = 0; n < 7; ++n) {
+      sw_cache.AddNode(n);
+      fw_cache.AddNode(n);
+    }
+    net::Partitioner sw_part(&sw);
+    net::Partitioner fw_part(&fw);
+
+    auto random_group = [&rng]() {
+      net::Group g;
+      const size_t len = 1 + rng.NextBelow(4);
+      for (size_t i = 0; i < len; ++i) {
+        g.push_back(static_cast<net::NodeId>(rng.NextBelow(7)));  // dups allowed
+      }
+      return g;
+    };
+
+    std::vector<std::pair<net::RuleId, net::RuleId>> rules;
+    std::vector<std::pair<net::Partition, net::Partition>> partitions;
+    for (int step = 0; step < 250; ++step) {
+      switch (rng.NextBelow(4)) {
+        case 0: {
+          const net::Group srcs = random_group();
+          const net::Group dsts = random_group();
+          rules.emplace_back(sw.Block(srcs, dsts), fw.Block(srcs, dsts));
+          break;
+        }
+        case 1: {
+          if (!rules.empty()) {
+            const size_t pick = rng.NextBelow(rules.size());
+            EXPECT_TRUE(sw.Unblock(rules[pick].first));
+            EXPECT_TRUE(fw.Unblock(rules[pick].second));
+            rules.erase(rules.begin() + static_cast<ptrdiff_t>(pick));
+          }
+          break;
+        }
+        case 2: {
+          const net::Group a = random_group();
+          const net::Group b = random_group();
+          switch (rng.NextBelow(3)) {
+            case 0:
+              partitions.emplace_back(sw_part.Complete(a, b), fw_part.Complete(a, b));
+              break;
+            case 1:
+              partitions.emplace_back(sw_part.Partial(a, b), fw_part.Partial(a, b));
+              break;
+            default:
+              partitions.emplace_back(sw_part.Simplex(a, b), fw_part.Simplex(a, b));
+              break;
+          }
+          break;
+        }
+        default: {
+          if (!partitions.empty()) {
+            const size_t pick = rng.NextBelow(partitions.size());
+            sw_part.Heal(partitions[pick].first);
+            fw_part.Heal(partitions[pick].second);
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(sw.rule_count(), fw.rule_count()) << "seed " << seed << " step " << step;
+      ASSERT_EQ(sw_cache.synced_epoch(), sw.epoch());
+      ASSERT_EQ(fw_cache.synced_epoch(), fw.epoch());
+      for (net::NodeId s = 0; s < 8; ++s) {    // node 7 is untracked
+        for (net::NodeId d = 0; d < 8; ++d) {
+          const bool truth = sw.Allows(s, d);
+          ASSERT_EQ(truth, fw.Allows(s, d))
+              << "seed " << seed << " step " << step << " link " << s << "->" << d;
+          ASSERT_EQ(truth, sw_cache.Allows(s, d))
+              << "switch cache diverged at seed " << seed << " step " << step << " link "
+              << s << "->" << d;
+          ASSERT_EQ(truth, fw_cache.Allows(s, d))
+              << "firewall cache diverged at seed " << seed << " step " << step
+              << " link " << s << "->" << d;
+          if (s == d) {
+            ASSERT_TRUE(truth) << "self traffic cut at " << s;
+          }
+        }
+      }
+    }
+    EXPECT_GT(sw_cache.patched_pairs(), 0u);
   }
 }
 

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "net/network.h"
+#include "net/partition.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -127,6 +130,39 @@ TEST(SimulatorTest, CancelPreventsExecution) {
   EXPECT_FALSE(s.Cancel(id));  // second cancel fails
   s.RunUntilIdle();
   EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(s.Schedule(Milliseconds(i + 1), []() {}));
+  }
+  EXPECT_EQ(s.pending_events(), 5u);
+  EXPECT_TRUE(s.Cancel(ids[1]));
+  EXPECT_TRUE(s.Cancel(ids[3]));
+  EXPECT_EQ(s.pending_events(), 3u);
+  EXPECT_EQ(s.RunUntilIdle(), 3u);
+  EXPECT_EQ(s.events_executed(), 3u);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelledEventsDoNotAdvanceTheClock) {
+  Simulator s;
+  EventId id = s.Schedule(Seconds(10), []() {});
+  s.Cancel(id);
+  EXPECT_EQ(s.RunUntilIdle(), 0u);
+  EXPECT_EQ(s.Now(), kTimeZero);
+}
+
+TEST(SimulatorTest, EventsCanCancelLaterEventsAtTheSameTime) {
+  Simulator s;
+  bool victim_ran = false;
+  EventId victim = kInvalidEventId;
+  s.Schedule(Milliseconds(1), [&]() { EXPECT_TRUE(s.Cancel(victim)); });
+  victim = s.Schedule(Milliseconds(1), [&]() { victim_ran = true; });
+  s.RunUntilIdle();
+  EXPECT_FALSE(victim_ran);
 }
 
 TEST(SimulatorTest, CancelAfterRunFails) {
@@ -263,3 +299,111 @@ TEST(SimulatorProperty, MatchesReferenceModelUnderRandomSchedules) {
 
 }  // namespace
 }  // namespace sim_property
+
+namespace sim_golden {
+namespace {
+
+struct Ping : public net::Message {
+  std::string TypeName() const override { return "Ping"; }
+};
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// A fixed scenario exercising the full scheduling surface: timers, ties,
+// cancellations, network traffic with jitter, a flaky link, and partition
+// install/heal while packets are in flight.
+std::string GoldenScheduleTrace(uint64_t seed) {
+  sim::Simulator s(seed);
+  net::FirewallPartitioner backend;
+  net::Network network(&s, &backend);
+  net::Partitioner partitioner(&backend);
+  network.set_latency({sim::Microseconds(150), sim::Microseconds(90)});
+  for (net::NodeId n = 1; n <= 5; ++n) {
+    network.Register(n, [n, &s](const net::Envelope& e) {
+      s.Trace().Append(s.Now(), "node" + std::to_string(n), "recv",
+                       std::to_string(e.src) + "->" + std::to_string(n));
+    });
+  }
+  network.SetLinkLoss(2, 3, 0.5);
+
+  std::vector<sim::EventId> timers;
+  for (int i = 0; i < 40; ++i) {
+    timers.push_back(s.Schedule(sim::Microseconds(45 * i + 7), [&network, i]() {
+      const net::NodeId src = static_cast<net::NodeId>(1 + i % 5);
+      const net::NodeId dst = static_cast<net::NodeId>(1 + (i * 3 + 1) % 5);
+      network.SendNew<Ping>(src, dst);
+    }));
+  }
+  for (size_t i = 0; i < timers.size(); i += 4) {
+    s.Cancel(timers[i]);
+  }
+  net::Partition partition;
+  s.Schedule(sim::Microseconds(500),
+             [&]() { partition = partitioner.Complete({1, 2}, {3, 4, 5}); });
+  s.Schedule(sim::Microseconds(1300), [&]() { partitioner.Heal(partition); });
+  s.RunUntilIdle();
+  return s.Trace().Dump() + "#events=" + std::to_string(s.events_executed()) +
+         " sent=" + std::to_string(network.messages_sent()) +
+         " delivered=" + std::to_string(network.messages_delivered()) +
+         " dropped=" + std::to_string(network.messages_dropped()) +
+         " now=" + sim::FormatTime(s.Now());
+}
+
+// Golden digests recorded from the std::map-based event queue immediately
+// before the binary-heap swap. The heap must replay the same seeded
+// schedules into bit-identical traces; any divergence is an ordering bug.
+TEST(DeterminismGolden, EventQueueReplaysTheRecordedSchedules) {
+  EXPECT_EQ(Fnv1a(GoldenScheduleTrace(1)), 17290149954841914537ULL)
+      << GoldenScheduleTrace(1);
+  EXPECT_EQ(Fnv1a(GoldenScheduleTrace(2)), 13891609431013054173ULL);
+  EXPECT_EQ(Fnv1a(GoldenScheduleTrace(3)), 6840748438253279289ULL);
+}
+
+}  // namespace
+}  // namespace sim_golden
+
+namespace sim_substream {
+namespace {
+
+struct Ping : public net::Message {
+  std::string TypeName() const override { return "Ping"; }
+};
+
+// Satellite regression: the network draws loss and jitter from its own RNG
+// substream, so toggling jitter or flakiness must not perturb the random
+// decisions systems make from the simulator's stream under the same seed.
+std::vector<uint64_t> SystemDrawsWith(sim::Duration jitter, double loss) {
+  sim::Simulator s(11);
+  net::SwitchPartitioner backend;
+  net::Network network(&s, &backend);
+  network.set_latency({sim::Microseconds(100), jitter});
+  network.Register(1, [](const net::Envelope&) {});
+  network.Register(2, [](const net::Envelope&) {});
+  if (loss > 0.0) {
+    network.SetLinkLoss(1, 2, loss);
+  }
+  std::vector<uint64_t> draws;
+  for (int i = 0; i < 32; ++i) {
+    network.SendNew<Ping>(1, 2);  // consumes network randomness only
+    s.RunUntilIdle();
+    draws.push_back(s.Rand().Next());  // a system-logic draw
+  }
+  return draws;
+}
+
+TEST(NetworkRngSubstream, NetworkRandomnessNeverPerturbsSystemDraws) {
+  const std::vector<uint64_t> baseline = SystemDrawsWith(0, 0.0);
+  EXPECT_EQ(baseline, SystemDrawsWith(sim::Microseconds(80), 0.0));
+  EXPECT_EQ(baseline, SystemDrawsWith(sim::Microseconds(80), 0.5));
+  EXPECT_EQ(baseline, SystemDrawsWith(0, 0.9));
+}
+
+}  // namespace
+}  // namespace sim_substream
