@@ -4,10 +4,12 @@
 // tests ... with a framework that can inject network-partitioning faults").
 //
 // For every rule combination this bench reports the suite size for
-// sequences of up to 3 and 4 events, and then executes the paper-pruned
-// suite against flawed and corrected pbkv configurations, counting how many
-// test cases expose a safety violation and how many cases it takes to hit
-// the first one.
+// sequences of up to 3 and 4 events (counted through the streaming
+// generator — nothing is materialized), then sweeps the paper-pruned suite
+// against flawed and corrected pbkv and locksvc configurations through the
+// campaign runner, reporting failures found, the first failing case, the
+// deduplicated failure signatures, and throughput. NEAT_THREADS / NEAT_SEEDS
+// scale the sweep to the machine.
 
 #include <cstdio>
 #include <string>
@@ -15,6 +17,7 @@
 
 #include "bench/bench_util.h"
 #include "neat/adapters.h"
+#include "neat/campaign.h"
 #include "neat/testgen.h"
 
 namespace {
@@ -46,26 +49,40 @@ std::vector<RuleSet> RuleSets() {
   };
 }
 
-struct SuiteResult {
-  size_t suite_size = 0;
-  int failures_found = 0;
-  int cases_to_first_failure = -1;
-};
+// Streaming count: the suite never exists in memory.
+uint64_t CountUpTo(const neat::TestCaseGenerator& generator, int max_length,
+                   const PruningRules& rules) {
+  uint64_t count = 0;
+  generator.StreamUpTo(max_length, rules, [&count](const neat::TestCase&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
 
-SuiteResult RunSuite(const std::vector<neat::TestCase>& suite, const pbkv::Options& options) {
-  SuiteResult result;
-  result.suite_size = suite.size();
-  int index = 0;
-  for (const neat::TestCase& test_case : suite) {
-    ++index;
-    if (neat::RunPbkvTestCase(options, test_case, /*seed=*/1).found_failure) {
-      ++result.failures_found;
-      if (result.cases_to_first_failure < 0) {
-        result.cases_to_first_failure = index;
-      }
-    }
+std::string SignatureSummary(const neat::CampaignResult& result) {
+  if (result.signature_counts.empty()) {
+    return "-";
   }
-  return result;
+  std::string out;
+  for (const auto& [signature, count] : result.signature_counts) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += signature + " x" + std::to_string(count);
+  }
+  return out;
+}
+
+void PrintCampaignRow(const char* name, const neat::CampaignResult& result) {
+  // first_failure_index is 0-based; report 1-based "cases to first failure"
+  // as the previous serial loop did.
+  const long long first =
+      result.first_failure_index < 0 ? -1 : result.first_failure_index + 1;
+  std::printf("  %-36s %8llu %10llu %18lld %10.0f  %s\n", name,
+              static_cast<unsigned long long>(result.cases_run),
+              static_cast<unsigned long long>(result.failures), first,
+              result.CasesPerSecond(), SignatureSummary(result).c_str());
 }
 
 }  // namespace
@@ -80,20 +97,26 @@ int main() {
               generator.Instances().size());
   std::printf("  %-36s %14s %14s\n", "rule set", "len <= 3", "len <= 4");
   for (const RuleSet& rule_set : RuleSets()) {
-    const size_t upto3 = generator.EnumerateUpTo(3, rule_set.rules).size();
-    const size_t upto4 = generator.EnumerateUpTo(4, rule_set.rules).size();
-    std::printf("  %-36s %14zu %14zu\n", rule_set.name, upto3, upto4);
+    const uint64_t upto3 = CountUpTo(generator, 3, rule_set.rules);
+    const uint64_t upto4 = CountUpTo(generator, 4, rule_set.rules);
+    std::printf("  %-36s %14llu %14llu\n", rule_set.name,
+                static_cast<unsigned long long>(upto3),
+                static_cast<unsigned long long>(upto4));
   }
   uint64_t unpruned = 0;
   for (int len = 1; len <= 4; ++len) {
     unpruned += generator.UnprunedCount(len);
   }
-  const size_t paper_suite = generator.EnumerateUpTo(4, neat::PaperPruning()).size();
+  const uint64_t paper_suite = CountUpTo(generator, 4, neat::PaperPruning());
   std::printf("  Reduction with all rules (len <= 4): %llux\n",
               static_cast<unsigned long long>(unpruned / (paper_suite ? paper_suite : 1)));
 
-  std::printf("\nExecuting the paper-pruned suite (len <= 3) against pbkv variants\n");
-  const auto suite = generator.EnumerateUpTo(3, neat::PaperPruning());
+  neat::CampaignOptions options = neat::CampaignOptionsFromEnv();
+  std::printf("\nCampaign configuration: threads=%d (NEAT_THREADS, 0=hardware), "
+              "seeds=%d (NEAT_SEEDS)\n",
+              options.threads, options.seeds);
+
+  std::printf("\nSweeping the paper-pruned suite (len <= 3) against pbkv variants\n");
   struct Variant {
     const char* name;
     pbkv::Options options;
@@ -104,18 +127,19 @@ int main() {
       {"Redis-like (async replication)", pbkv::AsyncReplicationOptions()},
       {"corrected configuration", pbkv::CorrectOptions()},
   };
-  std::printf("  %-36s %8s %10s %18s\n", "system variant", "cases", "failures",
-              "first failure at");
+  std::printf("  %-36s %8s %10s %18s %10s  %s\n", "system variant", "runs", "failures",
+              "first failure at", "cases/s", "signatures");
   for (const Variant& variant : variants) {
-    const SuiteResult result = RunSuite(suite, variant.options);
-    std::printf("  %-36s %8zu %10d %18d\n", variant.name, result.suite_size,
-                result.failures_found, result.cases_to_first_failure);
+    const neat::CampaignResult result =
+        neat::RunCampaign(generator, 3, neat::PaperPruning(),
+                          neat::PbkvCaseExecutor(variant.options), options);
+    PrintCampaignRow(variant.name, result);
   }
-  std::printf("\nExecuting a lock/unlock suite against the lock service\n");
+
+  std::printf("\nSweeping a lock/unlock suite against the lock service\n");
   neat::TestCaseGenerator::Alphabet lock_alphabet;
   lock_alphabet.client_events = {neat::EventKind::kLock, neat::EventKind::kUnlock};
   neat::TestCaseGenerator lock_generator(lock_alphabet);
-  const auto lock_suite = lock_generator.EnumerateUpTo(3, neat::PaperPruning());
   struct LockVariant {
     const char* name;
     locksvc::Options options;
@@ -124,23 +148,13 @@ int main() {
       {"Ignite-like (view shrinking)", locksvc::IgniteOptions()},
       {"corrected (majority quorum)", locksvc::CorrectOptions()},
   };
-  std::printf("  %-36s %8s %10s %18s\n", "system variant", "cases", "failures",
-              "first failure at");
+  std::printf("  %-36s %8s %10s %18s %10s  %s\n", "system variant", "runs", "failures",
+              "first failure at", "cases/s", "signatures");
   for (const LockVariant& variant : lock_variants) {
-    int failures = 0;
-    int first = -1;
-    int index = 0;
-    for (const neat::TestCase& test_case : lock_suite) {
-      ++index;
-      if (neat::RunLocksvcTestCase(variant.options, test_case, /*seed=*/1).found_failure) {
-        ++failures;
-        if (first < 0) {
-          first = index;
-        }
-      }
-    }
-    std::printf("  %-36s %8zu %10d %18d\n", variant.name, lock_suite.size(), failures,
-                first);
+    const neat::CampaignResult result =
+        neat::RunCampaign(lock_generator, 3, neat::PaperPruning(),
+                          neat::LocksvcCaseExecutor(variant.options), options);
+    PrintCampaignRow(variant.name, result);
   }
 
   std::printf("\nFinding 13 check: the pruned suite finds every seeded flaw and none in the"

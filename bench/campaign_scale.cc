@@ -1,0 +1,114 @@
+// Campaign scaling: cases/s vs. worker threads and suite length.
+//
+// The NEAT chapter is a throughput argument — pruning makes the sweep
+// tractable, parallelism makes it fast. This bench measures the campaign
+// runner's cases/s on the paper-pruned pbkv suite at 1/2/4/8 threads,
+// verifies that every parallel run produces per-case verdicts byte-identical
+// to the serial baseline (the determinism contract), and then runs the
+// len <= 4 suite streamed from the generator cursor, checking that it finds
+// the same seeded flaws (dirty read, split brain, async loss) as len <= 3.
+//
+// NEAT_SEEDS adds the multi-seed dimension to the len <= 4 sweep.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "neat/adapters.h"
+#include "neat/campaign.h"
+#include "neat/testgen.h"
+
+namespace {
+
+bool Contains(const neat::CampaignResult& result, const std::string& impact) {
+  for (const auto& [signature, count] : result.signature_counts) {
+    if (signature.find(impact) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Campaign scaling: cases/s vs worker threads (NEAT Chapter 5 sweep)");
+  std::printf("hardware threads available: %u\n", std::thread::hardware_concurrency());
+
+  neat::TestCaseGenerator::Alphabet alphabet;
+  neat::TestCaseGenerator generator(alphabet);
+  const auto suite3 = generator.EnumerateUpTo(3, neat::PaperPruning());
+  const neat::CaseExecutor executor = neat::PbkvCaseExecutor(pbkv::VoltDbOptions());
+
+  std::printf("\npaper-pruned pbkv suite, len <= 3 (%zu cases), VoltDB-like variant\n",
+              suite3.size());
+  std::printf("  %8s %10s %10s %10s %12s  %s\n", "threads", "cases/s", "wall s",
+              "speedup", "verdicts", "digest");
+
+  neat::CampaignOptions serial_options;
+  serial_options.threads = 1;
+  const neat::CampaignResult serial = neat::RunCampaign(suite3, executor, serial_options);
+  std::printf("  %8d %10.1f %10.3f %10.2f %12s  %s\n", 1, serial.CasesPerSecond(),
+              serial.wall_seconds, 1.0, "baseline", serial.VerdictDigest().c_str());
+
+  bool all_identical = true;
+  for (const int threads : {2, 4, 8}) {
+    neat::CampaignOptions options;
+    options.threads = threads;
+    const neat::CampaignResult parallel = neat::RunCampaign(suite3, executor, options);
+    const bool identical = parallel.VerdictDigest() == serial.VerdictDigest() &&
+                           parallel.failures == serial.failures &&
+                           parallel.first_failure_index == serial.first_failure_index;
+    all_identical = all_identical && identical;
+    std::printf("  %8d %10.1f %10.3f %10.2f %12s  %s\n", threads,
+                parallel.CasesPerSecond(), parallel.wall_seconds,
+                serial.wall_seconds / (parallel.wall_seconds > 0 ? parallel.wall_seconds : 1),
+                identical ? "identical" : "DIVERGED", parallel.VerdictDigest().c_str());
+  }
+  bench::Verdict("parallel campaigns reproduce the serial per-case verdicts byte-identically",
+                 all_identical);
+
+  std::printf("\nlen <= 4 suite streamed from the generator cursor (never materialized)\n");
+  neat::CampaignOptions scaled = neat::CampaignOptionsFromEnv();
+  std::printf("  threads=%d (0=hardware), seeds=%d\n", scaled.threads, scaled.seeds);
+  struct Variant {
+    const char* name;
+    pbkv::Options options;
+    const char* impact;  // the seeded flaw's checker impact
+  };
+  const std::vector<Variant> variants = {
+      {"VoltDB-like", pbkv::VoltDbOptions(), "dirty read"},
+      {"Elasticsearch-like", pbkv::ElasticsearchOptions(), "data loss"},
+      {"Redis-like", pbkv::AsyncReplicationOptions(), "data loss"},
+  };
+  std::printf("  %-20s %8s %8s %10s %10s  %s\n", "variant", "len", "runs", "failures",
+              "cases/s", "flaw found");
+  bool same_flaws = true;
+  for (const Variant& variant : variants) {
+    const neat::CaseExecutor variant_executor = neat::PbkvCaseExecutor(variant.options);
+    const neat::CampaignResult upto3 =
+        neat::RunCampaign(generator, 3, neat::PaperPruning(), variant_executor, scaled);
+    const neat::CampaignResult upto4 =
+        neat::RunCampaign(generator, 4, neat::PaperPruning(), variant_executor, scaled);
+    for (const auto* result : {&upto3, &upto4}) {
+      const int len = result == &upto3 ? 3 : 4;
+      std::printf("  %-20s %8d %8llu %10llu %10.1f  %s\n", variant.name, len,
+                  static_cast<unsigned long long>(result->cases_run),
+                  static_cast<unsigned long long>(result->failures),
+                  result->CasesPerSecond(), Contains(*result, variant.impact) ? "yes" : "NO");
+    }
+    // len <= 4 must rediscover everything len <= 3 found.
+    same_flaws = same_flaws && Contains(upto4, variant.impact) &&
+                 upto4.failures >= upto3.failures;
+    for (const auto& [signature, count] : upto3.signature_counts) {
+      same_flaws = same_flaws && upto4.signature_counts.count(signature) > 0;
+    }
+  }
+  bench::Verdict(
+      "the len <= 4 campaign finds the same seeded flaws (dirty read, split brain, "
+      "async loss) as len <= 3",
+      same_flaws);
+  return 0;
+}

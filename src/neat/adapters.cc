@@ -4,8 +4,7 @@ namespace neat {
 
 bool LocksvcSystem::GetStatus() {
   // Healthy when a lock round-trip works end to end.
-  static int probe = 0;
-  const std::string resource = "__status_probe_" + std::to_string(probe++);
+  const std::string resource = "__status_probe_" + std::to_string(status_probe_++);
   if (cluster_.Lock(0, resource).status != check::OpStatus::kOk) {
     return false;
   }
@@ -33,6 +32,53 @@ net::NodeId PickIsolated(pbkv::Cluster& cluster, IsolationTarget target) {
   return cluster.server_ids().back();
 }
 
+// The partition/heal machinery every executor shares: builds the requested
+// partition shape around an isolated node and tears it down, keeping track
+// of the currently installed partition so re-partition and final heal are
+// uniform across systems.
+class PartitionScript {
+ public:
+  PartitionScript(net::Partitioner& partitioner, net::Group servers)
+      : partitioner_(partitioner), servers_(std::move(servers)) {}
+
+  bool partitioned() const { return partitioned_; }
+  net::NodeId isolated() const { return isolated_; }
+
+  void Partition(PartitionKind kind, net::NodeId isolated) {
+    Heal();
+    isolated_ = isolated;
+    const net::Group rest = net::Partitioner::Rest(servers_, {isolated});
+    switch (kind) {
+      case PartitionKind::kComplete:
+        partition_ = partitioner_.Complete({isolated}, rest);
+        break;
+      case PartitionKind::kPartial:
+        // Cut the isolated node from all but one bridge replica.
+        partition_ = partitioner_.Partial({isolated},
+                                          net::Group(rest.begin(), rest.end() - 1));
+        break;
+      case PartitionKind::kSimplex:
+        partition_ = partitioner_.Simplex({isolated}, rest);
+        break;
+    }
+    partitioned_ = true;
+  }
+
+  void Heal() {
+    if (partitioned_) {
+      partitioner_.Heal(partition_);
+      partitioned_ = false;
+    }
+  }
+
+ private:
+  net::Partitioner& partitioner_;
+  net::Group servers_;
+  bool partitioned_ = false;
+  net::Partition partition_;
+  net::NodeId isolated_ = net::kInvalidNode;
+};
+
 }  // namespace
 
 ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& test_case,
@@ -53,30 +99,28 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
   cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
   cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
 
-  bool partitioned = false;
+  PartitionScript script(cluster.partitioner(), cluster.server_ids());
   bool slept_for_election = false;
-  net::Partition partition;
-  net::NodeId isolated = net::kInvalidNode;
   int value_counter = 0;
   const std::string key = "k";
 
   auto client_for = [&](Side side) -> int {
-    if (side == Side::kMinority && partitioned) {
+    if (side == Side::kMinority && script.partitioned()) {
       // Section 5.2: events on the old leader's side must be invoked right
       // after the partition, before it steps down — no sleep.
-      cluster.client(kMinorityClient).set_contact(isolated);
+      cluster.client(kMinorityClient).set_contact(script.isolated());
       return kMinorityClient;
     }
-    if (partitioned && !slept_for_election) {
+    if (script.partitioned() && !slept_for_election) {
       // ...while on the majority side, the test sleeps until a new leader
       // is elected (the NEAT tests' SLEEP_LEADER_ELECTION_PERIOD).
       cluster.Settle(sim::Milliseconds(600));
       slept_for_election = true;
     }
     net::NodeId contact = cluster.server_ids().front();
-    if (partitioned) {
+    if (script.partitioned()) {
       for (net::NodeId node : cluster.server_ids()) {
-        if (node != isolated) {
+        if (node != script.isolated()) {
           contact = node;
           break;
         }
@@ -88,35 +132,12 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
 
   for (const TestEvent& event : test_case) {
     switch (event.kind) {
-      case EventKind::kPartition: {
-        if (partitioned) {
-          cluster.partitioner().Heal(partition);
-        }
-        isolated = PickIsolated(cluster, event.target);
-        const net::Group rest =
-            net::Partitioner::Rest(cluster.server_ids(), {isolated});
-        switch (event.partition) {
-          case PartitionKind::kComplete:
-            partition = cluster.partitioner().Complete({isolated}, rest);
-            break;
-          case PartitionKind::kPartial:
-            // Cut the isolated node from all but one bridge replica.
-            partition = cluster.partitioner().Partial(
-                {isolated}, net::Group(rest.begin(), rest.end() - 1));
-            break;
-          case PartitionKind::kSimplex:
-            partition = cluster.partitioner().Simplex({isolated}, rest);
-            break;
-        }
-        partitioned = true;
+      case EventKind::kPartition:
+        script.Partition(event.partition, PickIsolated(cluster, event.target));
         slept_for_election = false;
         break;
-      }
       case EventKind::kHeal:
-        if (partitioned) {
-          cluster.partitioner().Heal(partition);
-          partitioned = false;
-        }
+        script.Heal();
         break;
       case EventKind::kWrite:
         cluster.Put(client_for(event.side), key, "v" + std::to_string(++value_counter));
@@ -129,17 +150,17 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
         break;
       case EventKind::kLock:
       case EventKind::kUnlock:
-        break;  // pbkv has no locks; the locksvc bench covers those
+        break;  // pbkv has no locks; the locksvc executor covers those
     }
   }
 
-  if (partitioned) {
+  if (script.partitioned()) {
     // The studied partitions last minutes to hours; let the system run its
     // failure-handling (elections, step-downs) before the heal so latent
     // damage — e.g. asynchronously replicated writes stranded on a deposed
     // leader — manifests.
     cluster.Settle(sim::Milliseconds(800));
-    cluster.partitioner().Heal(partition);
+    script.Heal();
   }
   cluster.Settle(sim::Seconds(1));
   cluster.client(kMajorityClient).set_contact(cluster.server_ids().front());
@@ -177,18 +198,17 @@ ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCa
   cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
   cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
 
-  bool partitioned = false;
-  net::Partition partition;
+  PartitionScript script(cluster.partitioner(), cluster.server_ids());
   const net::NodeId isolated = cluster.server_ids().back();
   const std::string lock = "L";
 
   auto client_for = [&](Side side) -> int {
-    if (side == Side::kMinority && partitioned) {
+    if (side == Side::kMinority && script.partitioned()) {
       cluster.client(kMinorityClient).set_contact(isolated);
       return kMinorityClient;
     }
     net::NodeId contact = cluster.server_ids().front();
-    if (partitioned && contact == isolated) {
+    if (script.partitioned() && contact == isolated) {
       contact = cluster.server_ids()[1];
     }
     cluster.client(kMajorityClient).set_contact(contact);
@@ -197,29 +217,13 @@ ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCa
 
   for (const TestEvent& event : test_case) {
     switch (event.kind) {
-      case EventKind::kPartition: {
-        if (partitioned) {
-          cluster.partitioner().Heal(partition);
-        }
-        const net::Group rest = net::Partitioner::Rest(cluster.server_ids(), {isolated});
-        if (event.partition == PartitionKind::kPartial) {
-          partition = cluster.partitioner().Partial(
-              {isolated}, net::Group(rest.begin(), rest.end() - 1));
-        } else if (event.partition == PartitionKind::kSimplex) {
-          partition = cluster.partitioner().Simplex({isolated}, rest);
-        } else {
-          partition = cluster.partitioner().Complete({isolated}, rest);
-        }
-        partitioned = true;
+      case EventKind::kPartition:
+        script.Partition(event.partition, isolated);
         // Let the flawed views shrink, as the Ignite failures require.
         cluster.Settle(sim::Milliseconds(400));
         break;
-      }
       case EventKind::kHeal:
-        if (partitioned) {
-          cluster.partitioner().Heal(partition);
-          partitioned = false;
-        }
+        script.Heal();
         break;
       case EventKind::kLock:
         cluster.Lock(client_for(event.side), lock);
@@ -231,13 +235,111 @@ ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCa
         break;  // the lock service has no KV surface
     }
   }
-  if (partitioned) {
-    cluster.partitioner().Heal(partition);
-  }
+  script.Heal();
   cluster.Settle(sim::Seconds(1));
   result.violations = check::CheckBrokenLocks(cluster.history());
   result.found_failure = !result.violations.empty();
   return result;
+}
+
+// --- system factories ---
+
+SystemFactory MakePbkvFactory(const pbkv::Options& options) {
+  return [options](uint64_t seed) -> std::unique_ptr<ISystem> {
+    pbkv::Cluster::Config config;
+    config.options = options;
+    config.seed = seed;
+    return std::make_unique<PbkvSystem>(config);
+  };
+}
+
+SystemFactory MakeRaftKvFactory(int num_servers) {
+  return [num_servers](uint64_t seed) -> std::unique_ptr<ISystem> {
+    raftkv::Cluster::Config config;
+    config.num_servers = num_servers;
+    config.seed = seed;
+    return std::make_unique<RaftKvSystem>(config);
+  };
+}
+
+SystemFactory MakeLocksvcFactory(const locksvc::Options& options) {
+  return [options](uint64_t seed) -> std::unique_ptr<ISystem> {
+    locksvc::Cluster::Config config;
+    config.options = options;
+    config.seed = seed;
+    return std::make_unique<LocksvcSystem>(config);
+  };
+}
+
+SystemFactory MakeMqueueFactory() {
+  return [](uint64_t seed) -> std::unique_ptr<ISystem> {
+    mqueue::Cluster::Config config;
+    config.seed = seed;
+    return std::make_unique<MqueueSystem>(config);
+  };
+}
+
+SystemFactory MakeSchedFactory() {
+  return [](uint64_t seed) -> std::unique_ptr<ISystem> {
+    sched::Cluster::Config config;
+    config.seed = seed;
+    return std::make_unique<SchedSystem>(config);
+  };
+}
+
+// --- campaign executors ---
+
+CaseExecutor PbkvCaseExecutor(const pbkv::Options& options, bool strong) {
+  return [options, strong](const TestCase& test_case, uint64_t seed) {
+    return RunPbkvTestCase(options, test_case, seed, strong);
+  };
+}
+
+CaseExecutor LocksvcCaseExecutor(const locksvc::Options& options) {
+  return [options](const TestCase& test_case, uint64_t seed) {
+    return RunLocksvcTestCase(options, test_case, seed);
+  };
+}
+
+CaseExecutor StatusProbeExecutor(SystemFactory factory) {
+  return [factory = std::move(factory)](const TestCase& test_case, uint64_t seed) {
+    std::unique_ptr<ISystem> system = factory(seed);
+    TestEnv& env = system->Env();
+    env.Sleep(sim::Milliseconds(500));
+
+    ExecutionResult result;
+    result.trace = FormatTestCase(test_case);
+
+    PartitionScript script(env.partitioner(), system->Servers());
+    const net::NodeId isolated = system->Servers().back();
+    for (const TestEvent& event : test_case) {
+      switch (event.kind) {
+        case EventKind::kPartition:
+          script.Partition(event.partition, isolated);
+          env.Sleep(sim::Milliseconds(400));
+          break;
+        case EventKind::kHeal:
+          script.Heal();
+          break;
+        default:
+          break;  // no generic client surface; client events are skipped
+      }
+    }
+    if (script.partitioned()) {
+      env.Sleep(sim::Milliseconds(800));
+      script.Heal();
+    }
+    env.Sleep(sim::Seconds(1));
+    if (!system->GetStatus()) {
+      check::Violation violation;
+      violation.impact = "data unavailability";
+      violation.description =
+          system->Name() + " cannot make progress after the partition healed";
+      result.violations.push_back(std::move(violation));
+    }
+    result.found_failure = !result.violations.empty();
+    return result;
+  };
 }
 
 }  // namespace neat

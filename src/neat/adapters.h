@@ -1,7 +1,9 @@
-// ISystem adapters for the model systems, plus the executor that runs
-// generated test cases (neat/testgen.h) against the primary-backup store.
-// Together these are the "seven systems tested with NEAT" layer of the
-// paper, scaled to the systems this repository implements.
+// ISystem adapters for the model systems, plus the executors that run
+// generated test cases (neat/testgen.h) against them. Together these are
+// the "seven systems tested with NEAT" layer of the paper, scaled to the
+// systems this repository implements. Executors plug into the campaign
+// runner (neat/campaign.h) through the SystemFactory/CaseExecutor
+// interface, so a sweep can target any model system.
 
 #ifndef NEAT_ADAPTERS_H_
 #define NEAT_ADAPTERS_H_
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "check/checkers.h"
+#include "neat/campaign.h"
 #include "neat/system.h"
 #include "neat/testgen.h"
 #include "systems/locksvc/cluster.h"
@@ -61,6 +64,8 @@ class LocksvcSystem : public ISystem {
 
  private:
   locksvc::Cluster cluster_;
+  // Per-instance (not static): campaign workers probe concurrently.
+  int status_probe_ = 0;
 };
 
 class MqueueSystem : public ISystem {
@@ -91,14 +96,34 @@ class SchedSystem : public ISystem {
   sched::Cluster cluster_;
 };
 
-// --- test-case executor ---
+// --- system factories ---
 
-struct ExecutionResult {
-  // Catastrophic violations found by the checkers after the run.
-  std::vector<check::Violation> violations;
-  bool found_failure = false;
-  std::string trace;  // the executed event sequence
-};
+// Builds a fresh, fully booted ISystem for one campaign case. Campaign
+// workers each construct their own instance, so factories must capture only
+// immutable configuration. (ExecutionResult lives in neat/campaign.h.)
+using SystemFactory = std::function<std::unique_ptr<ISystem>(uint64_t seed)>;
+
+SystemFactory MakePbkvFactory(const pbkv::Options& options);
+SystemFactory MakeRaftKvFactory(int num_servers = 3);
+SystemFactory MakeLocksvcFactory(const locksvc::Options& options);
+SystemFactory MakeMqueueFactory();
+SystemFactory MakeSchedFactory();
+
+// --- test-case executors ---
+
+// Wraps the pbkv/locksvc runners below as campaign executors: each call
+// builds a fresh cluster from the captured options, so the returned
+// executor is safe to invoke concurrently from campaign workers.
+CaseExecutor PbkvCaseExecutor(const pbkv::Options& options, bool strong = true);
+CaseExecutor LocksvcCaseExecutor(const locksvc::Options& options);
+
+// A system-agnostic executor over any SystemFactory: it drives only the
+// partition/heal events of the test case (client events need a concrete
+// client API and are skipped), heals, and reports "data unavailability"
+// when the healed system cannot make progress (ISystem::GetStatus). The
+// weakest checker — it sees no operation history — but it lets a campaign
+// sweep every model system.
+CaseExecutor StatusProbeExecutor(SystemFactory factory);
 
 // Runs one abstract test case against a fresh pbkv cluster with the given
 // options. Client events on the minority side go through a client pinned to

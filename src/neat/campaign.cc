@@ -1,0 +1,215 @@
+#include "neat/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+namespace neat {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+struct WorkItem {
+  uint64_t index = 0;
+  TestCase test_case;
+};
+
+// The shared driver behind both RunCampaign overloads. `next_case` is the
+// work queue head: workers serialize on it to pull the next (index, case)
+// pair, then execute every seed of that case without further coordination.
+// Each worker appends into its own shard; the final sort by (case_index,
+// seed) restores generation order, so aggregation never sees thread
+// scheduling.
+CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
+                             const CaseExecutor& executor, const CampaignOptions& options,
+                             uint64_t total_cases) {
+  const int seeds = std::max(1, options.seeds);
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads <= 0) {
+    threads = 1;
+  }
+
+  std::mutex source_mutex;
+  std::mutex progress_mutex;
+  std::atomic<uint64_t> done{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::vector<CaseResult>> shards(static_cast<size_t>(threads));
+
+  const Clock::time_point campaign_start = Clock::now();
+  auto worker = [&](int shard) {
+    WorkItem item;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(source_mutex);
+        if (!next_case(&item)) {
+          break;
+        }
+      }
+      for (int seed = 1; seed <= seeds; ++seed) {
+        const Clock::time_point case_start = Clock::now();
+        ExecutionResult run = executor(item.test_case, static_cast<uint64_t>(seed));
+        CaseResult result;
+        result.case_index = item.index;
+        result.seed = static_cast<uint64_t>(seed);
+        result.found_failure = run.found_failure;
+        result.signature = FailureSignature(run);
+        result.trace = std::move(run.trace);
+        result.host_micros = MicrosSince(case_start);
+        shards[static_cast<size_t>(shard)].push_back(std::move(result));
+        const uint64_t done_now = done.fetch_add(1) + 1;
+        const uint64_t failures_now =
+            run.found_failure ? failures.fetch_add(1) + 1 : failures.load();
+        if (options.progress) {
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          options.progress(done_now, total_cases * static_cast<uint64_t>(seeds),
+                           failures_now);
+        }
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int shard = 0; shard < threads; ++shard) {
+      pool.emplace_back(worker, shard);
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+  }
+
+  CampaignResult result;
+  for (std::vector<CaseResult>& shard : shards) {
+    result.cases.insert(result.cases.end(), std::make_move_iterator(shard.begin()),
+                        std::make_move_iterator(shard.end()));
+  }
+  std::sort(result.cases.begin(), result.cases.end(),
+            [](const CaseResult& a, const CaseResult& b) {
+              return a.case_index != b.case_index ? a.case_index < b.case_index
+                                                  : a.seed < b.seed;
+            });
+  result.cases_run = result.cases.size();
+  for (const CaseResult& run : result.cases) {
+    result.total_host_micros += run.host_micros;
+    if (!run.found_failure) {
+      continue;
+    }
+    ++result.failures;
+    ++result.signature_counts[run.signature];
+    if (result.first_failure_index < 0 ||
+        static_cast<int64_t>(run.case_index) < result.first_failure_index) {
+      result.first_failure_index = static_cast<int64_t>(run.case_index);
+    }
+  }
+  result.wall_seconds = MicrosSince(campaign_start) / 1e6;
+  return result;
+}
+
+}  // namespace
+
+std::string FailureSignature(const ExecutionResult& result) {
+  std::set<std::string> impacts;
+  for (const check::Violation& violation : result.violations) {
+    impacts.insert(violation.impact);
+  }
+  std::string signature;
+  for (const std::string& impact : impacts) {
+    if (!signature.empty()) {
+      signature += "+";
+    }
+    signature += impact;
+  }
+  return signature;
+}
+
+int EnvKnob(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value <= 0 || value > 1000000) {
+    return fallback;
+  }
+  return static_cast<int>(value);
+}
+
+CampaignOptions CampaignOptionsFromEnv() {
+  CampaignOptions options;
+  options.threads = EnvKnob("NEAT_THREADS", 0);
+  options.seeds = EnvKnob("NEAT_SEEDS", 1);
+  return options;
+}
+
+double CampaignResult::CasesPerSecond() const {
+  return wall_seconds > 0 ? static_cast<double>(cases_run) / wall_seconds : 0;
+}
+
+std::string CampaignResult::VerdictDigest() const {
+  uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](const std::string& text) {
+    for (const unsigned char byte : text) {
+      hash ^= byte;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const CaseResult& run : cases) {
+    mix(std::to_string(run.case_index));
+    mix(":");
+    mix(std::to_string(run.seed));
+    mix(run.found_failure ? ":F:" : ":.:");
+    mix(run.signature);
+    mix("\n");
+  }
+  std::ostringstream os;
+  os << std::hex << hash;
+  return os.str();
+}
+
+CampaignResult RunCampaign(const std::vector<TestCase>& suite, const CaseExecutor& executor,
+                           const CampaignOptions& options) {
+  uint64_t next = 0;
+  const auto source = [&suite, &next](WorkItem* item) {
+    if (next >= suite.size()) {
+      return false;
+    }
+    item->index = next;
+    item->test_case = suite[next];
+    ++next;
+    return true;
+  };
+  return RunWithSource(source, executor, options, suite.size());
+}
+
+CampaignResult RunCampaign(const TestCaseGenerator& generator, int max_length,
+                           const PruningRules& rules, const CaseExecutor& executor,
+                           const CampaignOptions& options) {
+  TestCaseGenerator::Cursor cursor = generator.MakeCursorUpTo(max_length, rules);
+  uint64_t next = 0;
+  const auto source = [&cursor, &next](WorkItem* item) {
+    if (!cursor.Next(&item->test_case)) {
+      return false;
+    }
+    item->index = next++;
+    return true;
+  };
+  return RunWithSource(source, executor, options, 0);
+}
+
+}  // namespace neat

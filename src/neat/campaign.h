@@ -1,0 +1,109 @@
+// Parallel NEAT test campaigns (paper Chapter 5).
+//
+// NEAT's value is measured in failures found per unit of testing time: the
+// pruning rules shrink the test-case space, and the campaign runner sweeps
+// what remains as fast as the hardware allows. Every generated test case is
+// an independent deterministic simulation, so a campaign fans the cases out
+// across a pool of worker threads, each of which builds a fresh system per
+// case and shares nothing with its peers. Results are keyed by the case's
+// position in generation order, which makes the parallel campaign's output
+// byte-identical to the serial one — the per-case verdicts, aggregate
+// counts, and failure-signature histogram do not depend on thread count.
+//
+// Suites are fed either from a materialized vector or straight from a
+// TestCaseGenerator cursor, so length-5 spaces never exist in memory.
+
+#ifndef NEAT_CAMPAIGN_H_
+#define NEAT_CAMPAIGN_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "neat/testgen.h"
+
+namespace neat {
+
+// The outcome of executing one abstract test case against one system.
+struct ExecutionResult {
+  // Catastrophic violations found by the checkers after the run.
+  std::vector<check::Violation> violations;
+  bool found_failure = false;
+  std::string trace;  // the executed event sequence
+};
+
+// Runs one test case in a freshly built system under the given seed.
+// Campaign workers invoke the executor concurrently, so every call must
+// construct its own simulation and share no mutable state.
+using CaseExecutor = std::function<ExecutionResult(const TestCase& test_case, uint64_t seed)>;
+
+// The deduplication key for a failing run: the sorted set of distinct
+// violation impacts, joined with '+' (e.g. "dirty read+stale read").
+// Empty for a passing run.
+std::string FailureSignature(const ExecutionResult& result);
+
+// Reads a positive integer knob from the environment, falling back when the
+// variable is unset or unparsable. Used for NEAT_THREADS / NEAT_SEEDS.
+int EnvKnob(const char* name, int fallback);
+
+struct CampaignOptions {
+  // Worker threads; 0 means one per hardware thread.
+  int threads = 1;
+  // Each case runs under seeds 1..seeds (the multi-seed dimension).
+  int seeds = 1;
+  // Optional progress observer, invoked after every completed run with
+  // (runs done, total runs or 0 when streaming, failures so far). Calls are
+  // serialized but may come from any worker thread.
+  std::function<void(uint64_t done, uint64_t total, uint64_t failures)> progress;
+};
+
+// threads from NEAT_THREADS (default: hardware), seeds from NEAT_SEEDS
+// (default: 1) — the knobs that let benches scale to the machine.
+CampaignOptions CampaignOptionsFromEnv();
+
+// One executed (case, seed) pair.
+struct CaseResult {
+  uint64_t case_index = 0;  // position in generation order
+  uint64_t seed = 1;
+  bool found_failure = false;
+  std::string signature;  // FailureSignature of the run; empty if it passed
+  std::string trace;      // the executed event sequence
+  double host_micros = 0; // wall-clock cost of this run on its worker
+};
+
+struct CampaignResult {
+  // Every run, sorted by (case_index, seed) — independent of thread count.
+  std::vector<CaseResult> cases;
+  uint64_t cases_run = 0;  // == cases.size()
+  uint64_t failures = 0;
+  // case_index of the earliest case that failed under any seed; -1 if none.
+  int64_t first_failure_index = -1;
+  // Failure-signature dedup: signature -> number of failing runs.
+  std::map<std::string, uint64_t> signature_counts;
+  double wall_seconds = 0;        // end-to-end campaign wall time
+  double total_host_micros = 0;   // sum of per-run cost across all workers
+
+  double CasesPerSecond() const;
+  // FNV-1a digest over (case_index, seed, verdict, signature) of every run;
+  // equal digests mean identical per-case verdicts. Timing is excluded, so
+  // serial and parallel campaigns of the same suite digest identically.
+  std::string VerdictDigest() const;
+};
+
+// Sweeps a materialized suite through `executor` on a pool of
+// options.threads workers pulling from a shared work queue.
+CampaignResult RunCampaign(const std::vector<TestCase>& suite, const CaseExecutor& executor,
+                           const CampaignOptions& options);
+
+// Streaming variant: cases are pulled straight from a generator cursor
+// (lengths 1..max_length), so the suite is never materialized.
+CampaignResult RunCampaign(const TestCaseGenerator& generator, int max_length,
+                           const PruningRules& rules, const CaseExecutor& executor,
+                           const CampaignOptions& options);
+
+}  // namespace neat
+
+#endif  // NEAT_CAMPAIGN_H_

@@ -1,5 +1,6 @@
 #include "neat/testgen.h"
 
+#include <algorithm>
 #include <functional>
 #include <sstream>
 
@@ -206,6 +207,93 @@ std::vector<TestCase> TestCaseGenerator::EnumerateUpTo(int max_length,
     out.insert(out.end(), cases.begin(), cases.end());
   }
   return out;
+}
+
+TestCaseGenerator::Cursor::Cursor(const TestCaseGenerator* generator, int min_length,
+                                  int max_length, const PruningRules& rules)
+    : generator_(generator),
+      instances_(generator->Instances()),
+      rules_(rules),
+      max_length_(max_length),
+      target_length_(std::max(1, min_length)) {
+  if (max_length_ < target_length_) {
+    done_ = true;
+  } else {
+    next_index_.assign(static_cast<size_t>(max_length_) + 1, 0);
+  }
+}
+
+bool TestCaseGenerator::Cursor::Next(TestCase* out) {
+  // Resumable depth-first search: prefix_ is the DFS path, next_index_[d]
+  // the next instance to try at depth d. Emitting backtracks one level so
+  // the following call resumes exactly where the recursive Enumerate would.
+  while (!done_) {
+    const int depth = static_cast<int>(prefix_.size());
+    if (depth == target_length_) {
+      *out = prefix_;
+      prefix_.pop_back();
+      return true;
+    }
+    size_t& index = next_index_[static_cast<size_t>(depth)];
+    bool extended = false;
+    while (index < instances_.size()) {
+      const TestEvent& next = instances_[index++];
+      if (generator_->Admissible(prefix_, next, rules_)) {
+        prefix_.push_back(next);
+        next_index_[static_cast<size_t>(depth) + 1] = 0;
+        extended = true;
+        break;
+      }
+    }
+    if (extended) {
+      continue;
+    }
+    index = 0;
+    if (depth == 0) {
+      if (target_length_ >= max_length_) {
+        done_ = true;
+      } else {
+        ++target_length_;
+      }
+    } else {
+      prefix_.pop_back();
+    }
+  }
+  return false;
+}
+
+TestCaseGenerator::Cursor TestCaseGenerator::MakeCursor(int length,
+                                                        const PruningRules& rules) const {
+  return Cursor(this, length, length, rules);
+}
+
+TestCaseGenerator::Cursor TestCaseGenerator::MakeCursorUpTo(
+    int max_length, const PruningRules& rules) const {
+  return Cursor(this, 1, max_length, rules);
+}
+
+bool TestCaseGenerator::Stream(int length, const PruningRules& rules,
+                               const std::function<bool(const TestCase&)>& yield) const {
+  Cursor cursor = MakeCursor(length, rules);
+  TestCase test_case;
+  while (cursor.Next(&test_case)) {
+    if (!yield(test_case)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TestCaseGenerator::StreamUpTo(int max_length, const PruningRules& rules,
+                                   const std::function<bool(const TestCase&)>& yield) const {
+  Cursor cursor = MakeCursorUpTo(max_length, rules);
+  TestCase test_case;
+  while (cursor.Next(&test_case)) {
+    if (!yield(test_case)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace neat

@@ -14,6 +14,7 @@
 #define NEAT_TESTGEN_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,47 @@ class TestCaseGenerator {
 
   // Sequences of length 1..max_length.
   std::vector<TestCase> EnumerateUpTo(int max_length, const PruningRules& rules) const;
+
+  // --- streaming enumeration ---
+  //
+  // Long suites (length 5 and up) are too large to materialize; the cursor
+  // and callback forms below walk the same depth-first order as
+  // Enumerate/EnumerateUpTo while holding only the DFS stack — O(max_length)
+  // state regardless of suite size.
+
+  // Pull-based cursor. Obtain one from MakeCursor/MakeCursorUpTo; each Next
+  // call produces the next admissible case until the space is exhausted.
+  class Cursor {
+   public:
+    // Copies the next test case into `out`; false once exhausted.
+    bool Next(TestCase* out);
+
+   private:
+    friend class TestCaseGenerator;
+    Cursor(const TestCaseGenerator* generator, int min_length, int max_length,
+           const PruningRules& rules);
+
+    const TestCaseGenerator* generator_;
+    std::vector<TestEvent> instances_;
+    PruningRules rules_;
+    int max_length_;
+    int target_length_;              // the exact length currently enumerated
+    TestCase prefix_;                // DFS path from the root
+    std::vector<size_t> next_index_; // per-depth next instance to try
+    bool done_ = false;
+  };
+
+  // Sequences of exactly `length` events, in Enumerate order.
+  Cursor MakeCursor(int length, const PruningRules& rules) const;
+  // Sequences of length 1..max_length, in EnumerateUpTo order.
+  Cursor MakeCursorUpTo(int max_length, const PruningRules& rules) const;
+
+  // Callback form over the same order. Return false from `yield` to stop
+  // early; Stream returns true iff the space was fully enumerated.
+  bool Stream(int length, const PruningRules& rules,
+              const std::function<bool(const TestCase&)>& yield) const;
+  bool StreamUpTo(int max_length, const PruningRules& rules,
+                  const std::function<bool(const TestCase&)>& yield) const;
 
   // The number of unpruned sequences of exactly `length` events
   // (|alphabet|^length over the concrete event instances).

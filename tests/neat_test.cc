@@ -1,13 +1,16 @@
 // Tests for the NEAT framework: the test environment (partition + crash
 // API, global op order), the test-case generator with the Chapter-5 pruning
-// rules, the ISystem adapters, and the executor.
+// rules (materialized and streaming), the ISystem adapters, the executors,
+// and the parallel campaign runner.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 
 #include "neat/adapters.h"
+#include "neat/campaign.h"
 #include "neat/env.h"
 #include "neat/testgen.h"
 #include "neat/trace_report.h"
@@ -193,6 +196,261 @@ TEST(TestGen, EventDebugStringsAreDescriptive) {
   write.kind = EventKind::kWrite;
   write.side = Side::kMinority;
   EXPECT_EQ(write.DebugString(), "write(minority)");
+}
+
+// --- streaming generation ---
+
+std::vector<PruningRules> AllRuleSets() {
+  PruningRules none;
+  PruningRules partition_first;
+  partition_first.partition_first = true;
+  PruningRules natural;
+  natural.natural_order = true;
+  PruningRules single;
+  single.single_partition = true;
+  PruningRules three_events;
+  three_events.max_client_events = 3;
+  return {none, partition_first, natural, single, three_events, PaperPruning()};
+}
+
+TEST(TestGenStream, CursorMatchesEnumerateForAllRuleSetsAndLengths) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  for (const PruningRules& rules : AllRuleSets()) {
+    for (int length = 1; length <= 4; ++length) {
+      const auto expected = gen.Enumerate(length, rules);
+      std::vector<TestCase> via_cursor;
+      auto cursor = gen.MakeCursor(length, rules);
+      TestCase test_case;
+      while (cursor.Next(&test_case)) {
+        via_cursor.push_back(test_case);
+      }
+      // Order included: the cursor must walk the exact DFS order Enumerate
+      // materializes.
+      EXPECT_EQ(via_cursor, expected) << "length " << length;
+      std::vector<TestCase> via_stream;
+      EXPECT_TRUE(gen.Stream(length, rules, [&via_stream](const TestCase& streamed) {
+        via_stream.push_back(streamed);
+        return true;
+      }));
+      EXPECT_EQ(via_stream, expected) << "length " << length;
+    }
+  }
+}
+
+TEST(TestGenStream, CursorUpToMatchesEnumerateUpTo) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  for (const PruningRules& rules : AllRuleSets()) {
+    const auto expected = gen.EnumerateUpTo(4, rules);
+    std::vector<TestCase> via_cursor;
+    auto cursor = gen.MakeCursorUpTo(4, rules);
+    TestCase test_case;
+    while (cursor.Next(&test_case)) {
+      via_cursor.push_back(test_case);
+    }
+    EXPECT_EQ(via_cursor, expected);
+  }
+}
+
+TEST(TestGenStream, EarlyStopAbortsTheEnumeration) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  size_t seen = 0;
+  const bool completed = gen.StreamUpTo(3, NoPruning(), [&seen](const TestCase&) {
+    return ++seen < 5;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(TestGenStream, LengthFiveCountOnlySmoke) {
+  // The length-5 paper-pruned space is streamed count-only: the cursor holds
+  // O(max_length) state, so the suite never materializes. Both streaming
+  // forms must agree, and length 5 must strictly extend length 4.
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  uint64_t streamed = 0;
+  EXPECT_TRUE(gen.StreamUpTo(5, PaperPruning(), [&streamed](const TestCase& test_case) {
+    EXPECT_LE(test_case.size(), 5u);
+    ++streamed;
+    return true;
+  }));
+  uint64_t pulled = 0;
+  auto cursor = gen.MakeCursorUpTo(5, PaperPruning());
+  TestCase test_case;
+  while (cursor.Next(&test_case)) {
+    ++pulled;
+  }
+  EXPECT_EQ(streamed, pulled);
+  EXPECT_GT(streamed, gen.EnumerateUpTo(4, PaperPruning()).size());
+}
+
+// --- campaign runner ---
+
+// A cheap deterministic executor for campaign-mechanics tests: fails iff
+// case length plus seed is even, with a synthetic violation to exercise the
+// signature dedup.
+CaseExecutor SyntheticExecutor() {
+  return [](const TestCase& test_case, uint64_t seed) {
+    ExecutionResult result;
+    result.trace = FormatTestCase(test_case);
+    if ((test_case.size() + seed) % 2 == 0) {
+      check::Violation violation;
+      violation.impact = "synthetic";
+      violation.description = "length+seed is even";
+      result.violations.push_back(violation);
+      result.found_failure = true;
+    }
+    return result;
+  };
+}
+
+TEST(Campaign, AggregatesDeterministicallyKeyedByCaseIndex) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const auto suite = gen.EnumerateUpTo(2, PaperPruning());
+  ASSERT_FALSE(suite.empty());
+  CampaignOptions options;
+  options.threads = 4;
+  const CampaignResult result = RunCampaign(suite, SyntheticExecutor(), options);
+  ASSERT_EQ(result.cases_run, suite.size());
+  uint64_t failures = 0;
+  int64_t first = -1;
+  for (size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(result.cases[i].case_index, i);
+    EXPECT_EQ(result.cases[i].seed, 1u);
+    EXPECT_EQ(result.cases[i].trace, FormatTestCase(suite[i]));
+    const bool expect_failure = (suite[i].size() + 1) % 2 == 0;
+    EXPECT_EQ(result.cases[i].found_failure, expect_failure);
+    if (expect_failure) {
+      ++failures;
+      if (first < 0) {
+        first = static_cast<int64_t>(i);
+      }
+    }
+  }
+  EXPECT_EQ(result.failures, failures);
+  EXPECT_EQ(result.first_failure_index, first);
+  EXPECT_EQ(result.signature_counts.at("synthetic"), failures);
+}
+
+TEST(Campaign, MultiSeedRunsEveryCaseUnderEverySeed) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const auto suite = gen.Enumerate(1, PaperPruning());
+  ASSERT_FALSE(suite.empty());
+  CampaignOptions options;
+  options.threads = 3;
+  options.seeds = 3;
+  const CampaignResult result = RunCampaign(suite, SyntheticExecutor(), options);
+  ASSERT_EQ(result.cases_run, suite.size() * 3);
+  for (size_t i = 0; i < result.cases.size(); ++i) {
+    EXPECT_EQ(result.cases[i].case_index, i / 3);
+    EXPECT_EQ(result.cases[i].seed, i % 3 + 1);
+    // Length-1 cases fail on odd seeds (1 + seed even).
+    EXPECT_EQ(result.cases[i].found_failure, (1 + result.cases[i].seed) % 2 == 0);
+  }
+}
+
+TEST(Campaign, StreamingSourceMatchesMaterializedSuite) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  CampaignOptions options;
+  options.threads = 4;
+  options.seeds = 2;
+  const CampaignResult streamed =
+      RunCampaign(gen, 3, PaperPruning(), SyntheticExecutor(), options);
+  const CampaignResult materialized =
+      RunCampaign(gen.EnumerateUpTo(3, PaperPruning()), SyntheticExecutor(), options);
+  EXPECT_EQ(streamed.cases_run, materialized.cases_run);
+  EXPECT_EQ(streamed.VerdictDigest(), materialized.VerdictDigest());
+}
+
+TEST(Campaign, ProgressReportsEveryRunAndIsMonotonic) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const auto suite = gen.EnumerateUpTo(2, PaperPruning());
+  CampaignOptions options;
+  options.threads = 4;
+  uint64_t calls = 0;
+  uint64_t last_done = 0;
+  bool monotonic = true;
+  options.progress = [&](uint64_t done, uint64_t total, uint64_t failures_so_far) {
+    ++calls;
+    monotonic = monotonic && done > last_done && failures_so_far <= done;
+    last_done = done;
+    EXPECT_EQ(total, suite.size());
+  };
+  const CampaignResult result = RunCampaign(suite, SyntheticExecutor(), options);
+  EXPECT_EQ(calls, result.cases_run);
+  EXPECT_EQ(last_done, result.cases_run);
+  EXPECT_TRUE(monotonic);
+}
+
+TEST(Campaign, EnvKnobsControlThreadsAndSeeds) {
+  ASSERT_EQ(setenv("NEAT_THREADS", "7", 1), 0);
+  ASSERT_EQ(setenv("NEAT_SEEDS", "3", 1), 0);
+  CampaignOptions options = CampaignOptionsFromEnv();
+  EXPECT_EQ(options.threads, 7);
+  EXPECT_EQ(options.seeds, 3);
+  ASSERT_EQ(setenv("NEAT_THREADS", "not-a-number", 1), 0);
+  ASSERT_EQ(unsetenv("NEAT_SEEDS"), 0);
+  options = CampaignOptionsFromEnv();
+  EXPECT_EQ(options.threads, 0) << "unparsable knob falls back to hardware";
+  EXPECT_EQ(options.seeds, 1);
+  ASSERT_EQ(unsetenv("NEAT_THREADS"), 0);
+}
+
+TEST(Campaign, ParallelEqualsSerialOnThePaperPrunedPbkvSuite) {
+  // The determinism contract on the real executor: one worker and four
+  // workers over the paper-pruned pbkv suite must produce identical
+  // per-case verdicts and identical aggregates.
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const auto suite = gen.EnumerateUpTo(3, PaperPruning());
+  const CaseExecutor executor = PbkvCaseExecutor(pbkv::VoltDbOptions());
+  CampaignOptions serial_options;
+  serial_options.threads = 1;
+  CampaignOptions parallel_options;
+  parallel_options.threads = 4;
+  const CampaignResult serial = RunCampaign(suite, executor, serial_options);
+  const CampaignResult parallel = RunCampaign(suite, executor, parallel_options);
+  ASSERT_EQ(serial.cases_run, suite.size());
+  ASSERT_EQ(parallel.cases_run, serial.cases_run);
+  for (size_t i = 0; i < serial.cases.size(); ++i) {
+    EXPECT_EQ(parallel.cases[i].case_index, serial.cases[i].case_index);
+    EXPECT_EQ(parallel.cases[i].seed, serial.cases[i].seed);
+    EXPECT_EQ(parallel.cases[i].found_failure, serial.cases[i].found_failure)
+        << serial.cases[i].trace;
+    EXPECT_EQ(parallel.cases[i].signature, serial.cases[i].signature)
+        << serial.cases[i].trace;
+    EXPECT_EQ(parallel.cases[i].trace, serial.cases[i].trace);
+  }
+  EXPECT_EQ(parallel.failures, serial.failures);
+  EXPECT_EQ(parallel.first_failure_index, serial.first_failure_index);
+  EXPECT_EQ(parallel.signature_counts, serial.signature_counts);
+  EXPECT_EQ(parallel.VerdictDigest(), serial.VerdictDigest());
+  EXPECT_GT(serial.failures, 0u) << "the VoltDB-like variant must fail the sweep";
+}
+
+TEST(Campaign, StatusProbeExecutorSweepsAnyModelSystem) {
+  // The SystemFactory interface: the same generic executor drives a
+  // partition-only campaign against systems with no bespoke executor.
+  TestEvent partition;
+  partition.kind = EventKind::kPartition;
+  partition.partition = PartitionKind::kComplete;
+  const TestCase partition_only{partition};
+  CampaignOptions options;
+  options.threads = 2;
+  for (SystemFactory factory :
+       {MakeRaftKvFactory(), MakeMqueueFactory(), MakePbkvFactory(pbkv::CorrectOptions())}) {
+    const CampaignResult result = RunCampaign(
+        std::vector<TestCase>{partition_only}, StatusProbeExecutor(factory), options);
+    ASSERT_EQ(result.cases_run, 1u);
+    // A healed correct system must make progress again.
+    EXPECT_EQ(result.failures, 0u) << result.cases[0].signature;
+  }
 }
 
 // --- executor ---
