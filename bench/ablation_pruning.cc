@@ -9,7 +9,9 @@
 // against flawed and corrected pbkv and locksvc configurations through the
 // campaign runner, reporting failures found, the first failing case, the
 // deduplicated failure signatures, and throughput. NEAT_THREADS / NEAT_SEEDS
-// scale the sweep to the machine.
+// scale the sweep to the machine. The VoltDB-like sweep runs with the triage
+// post-pass enabled and emits the structured report artifact
+// (ablation_pruning_report.{json,md}, directory taken from argv[1]).
 
 #include <cstdio>
 #include <string>
@@ -18,6 +20,7 @@
 #include "bench/bench_util.h"
 #include "neat/adapters.h"
 #include "neat/campaign.h"
+#include "neat/report.h"
 #include "neat/testgen.h"
 
 namespace {
@@ -49,17 +52,6 @@ std::vector<RuleSet> RuleSets() {
   };
 }
 
-// Streaming count: the suite never exists in memory.
-uint64_t CountUpTo(const neat::TestCaseGenerator& generator, int max_length,
-                   const PruningRules& rules) {
-  uint64_t count = 0;
-  generator.StreamUpTo(max_length, rules, [&count](const neat::TestCase&) {
-    ++count;
-    return true;
-  });
-  return count;
-}
-
 std::string SignatureSummary(const neat::CampaignResult& result) {
   if (result.signature_counts.empty()) {
     return "-";
@@ -87,7 +79,8 @@ void PrintCampaignRow(const char* name, const neat::CampaignResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string report_dir = argc > 1 ? argv[1] : ".";
   bench::Banner("Ablation: test-space pruning rules (Chapter 5) and bug yield");
 
   neat::TestCaseGenerator::Alphabet alphabet;
@@ -97,8 +90,8 @@ int main() {
               generator.Instances().size());
   std::printf("  %-36s %14s %14s\n", "rule set", "len <= 3", "len <= 4");
   for (const RuleSet& rule_set : RuleSets()) {
-    const uint64_t upto3 = CountUpTo(generator, 3, rule_set.rules);
-    const uint64_t upto4 = CountUpTo(generator, 4, rule_set.rules);
+    const uint64_t upto3 = generator.CountUpTo(3, rule_set.rules);
+    const uint64_t upto4 = generator.CountUpTo(4, rule_set.rules);
     std::printf("  %-36s %14llu %14llu\n", rule_set.name,
                 static_cast<unsigned long long>(upto3),
                 static_cast<unsigned long long>(upto4));
@@ -107,13 +100,14 @@ int main() {
   for (int len = 1; len <= 4; ++len) {
     unpruned += generator.UnprunedCount(len);
   }
-  const uint64_t paper_suite = CountUpTo(generator, 4, neat::PaperPruning());
+  const uint64_t paper_suite = generator.CountUpTo(4, neat::PaperPruning());
   std::printf("  Reduction with all rules (len <= 4): %llux\n",
               static_cast<unsigned long long>(unpruned / (paper_suite ? paper_suite : 1)));
 
   neat::CampaignOptions options = neat::CampaignOptionsFromEnv();
+  options.minimize_failures = true;  // triage pass: one minimized repro per signature
   std::printf("\nCampaign configuration: threads=%d (NEAT_THREADS, 0=hardware), "
-              "seeds=%d (NEAT_SEEDS)\n",
+              "seeds=%d (NEAT_SEEDS), minimization on\n",
               options.threads, options.seeds);
 
   std::printf("\nSweeping the paper-pruned suite (len <= 3) against pbkv variants\n");
@@ -129,11 +123,15 @@ int main() {
   };
   std::printf("  %-36s %8s %10s %18s %10s  %s\n", "system variant", "runs", "failures",
               "first failure at", "cases/s", "signatures");
-  for (const Variant& variant : variants) {
-    const neat::CampaignResult result =
+  neat::CampaignResult voltdb;  // kept for the report artifact below
+  for (size_t i = 0; i < variants.size(); ++i) {
+    neat::CampaignResult result =
         neat::RunCampaign(generator, 3, neat::PaperPruning(),
-                          neat::PbkvCaseExecutor(variant.options), options);
-    PrintCampaignRow(variant.name, result);
+                          neat::PbkvCaseExecutor(variants[i].options), options);
+    PrintCampaignRow(variants[i].name, result);
+    if (i == 0) {
+      voltdb = std::move(result);
+    }
   }
 
   std::printf("\nSweeping a lock/unlock suite against the lock service\n");
@@ -155,6 +153,24 @@ int main() {
         neat::RunCampaign(lock_generator, 3, neat::PaperPruning(),
                           neat::LocksvcCaseExecutor(variant.options), options);
     PrintCampaignRow(variant.name, result);
+  }
+
+  std::printf("\nMinimized repros from the VoltDB-like sweep (triage post-pass)\n");
+  for (const neat::MinimizedRepro& repro : voltdb.minimized) {
+    std::printf("  [%s] %zu -> %zu events in %llu probes: %s\n", repro.signature.c_str(),
+                repro.original.size(), repro.minimized.size(),
+                static_cast<unsigned long long>(repro.probes),
+                neat::FormatTestCase(repro.minimized).c_str());
+  }
+  const neat::ReportContext context{"pruning ablation", "pbkv/VoltDB-like (seeded dirty reads)",
+                                    "paper-pruned, len <= 3", options.threads, options.seeds};
+  const std::string stem = report_dir + "/ablation_pruning_report";
+  if (neat::WriteTextFile(stem + ".json", neat::JsonReport(voltdb, context)) &&
+      neat::WriteTextFile(stem + ".md", neat::MarkdownReport(voltdb, context))) {
+    std::printf("  wrote %s.json, %s.md\n", stem.c_str(), stem.c_str());
+  } else {
+    std::printf("  FAILED to write %s.{json,md}\n", stem.c_str());
+    return 1;
   }
 
   std::printf("\nFinding 13 check: the pruned suite finds every seeded flaw and none in the"

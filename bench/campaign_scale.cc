@@ -7,6 +7,9 @@
 // to the serial baseline (the determinism contract), and then runs the
 // len <= 4 suite streamed from the generator cursor, checking that it finds
 // the same seeded flaws (dirty read, split brain, async loss) as len <= 3.
+// A final triage pass re-runs the VoltDB-like len <= 4 sweep with failure
+// minimization enabled and emits the structured report artifact
+// (campaign_scale_report.{json,md}, directory taken from argv[1]).
 //
 // NEAT_SEEDS adds the multi-seed dimension to the len <= 4 sweep.
 
@@ -18,6 +21,7 @@
 #include "bench/bench_util.h"
 #include "neat/adapters.h"
 #include "neat/campaign.h"
+#include "neat/report.h"
 #include "neat/testgen.h"
 
 namespace {
@@ -33,7 +37,8 @@ bool Contains(const neat::CampaignResult& result, const std::string& impact) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string report_dir = argc > 1 ? argv[1] : ".";
   bench::Banner("Campaign scaling: cases/s vs worker threads (NEAT Chapter 5 sweep)");
   std::printf("hardware threads available: %u\n", std::thread::hardware_concurrency());
 
@@ -110,5 +115,31 @@ int main() {
       "the len <= 4 campaign finds the same seeded flaws (dirty read, split brain, "
       "async loss) as len <= 3",
       same_flaws);
+
+  std::printf("\nTriage pass: minimize one repro per signature, emit the report artifact\n");
+  neat::CampaignOptions triage = scaled;
+  triage.minimize_failures = true;
+  const neat::CampaignResult triaged =
+      neat::RunCampaign(generator, 4, neat::PaperPruning(),
+                        neat::PbkvCaseExecutor(pbkv::VoltDbOptions()), triage);
+  std::printf("  sweep %.3fs, minimize %.3fs, %zu signatures\n", triaged.sweep_seconds,
+              triaged.minimize_seconds, triaged.signature_counts.size());
+  for (const neat::MinimizedRepro& repro : triaged.minimized) {
+    std::printf("  [%s] %zu -> %zu events in %llu probes: %s\n", repro.signature.c_str(),
+                repro.original.size(), repro.minimized.size(),
+                static_cast<unsigned long long>(repro.probes),
+                neat::FormatTestCase(repro.minimized).c_str());
+  }
+  const neat::ReportContext context{"campaign scaling",
+                                    "pbkv/VoltDB-like (seeded dirty reads)",
+                                    "paper-pruned, len <= 4", triage.threads, triage.seeds};
+  const std::string stem = report_dir + "/campaign_scale_report";
+  if (neat::WriteTextFile(stem + ".json", neat::JsonReport(triaged, context)) &&
+      neat::WriteTextFile(stem + ".md", neat::MarkdownReport(triaged, context))) {
+    std::printf("  wrote %s.json, %s.md\n", stem.c_str(), stem.c_str());
+  } else {
+    std::printf("  FAILED to write %s.{json,md}\n", stem.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "neat/adapters.h"
 
+#include "neat/trace_report.h"
+
 namespace neat {
 
 bool LocksvcSystem::GetStatus() {
@@ -178,6 +180,7 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
     add(check::CheckStaleReads(history));
   }
   result.found_failure = !result.violations.empty();
+  result.trace_report = Summarize(cluster.env().simulator().Trace());
   return result;
 }
 
@@ -239,6 +242,7 @@ ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCa
   cluster.Settle(sim::Seconds(1));
   result.violations = check::CheckBrokenLocks(cluster.history());
   result.found_failure = !result.violations.empty();
+  result.trace_report = Summarize(cluster.env().simulator().Trace());
   return result;
 }
 
@@ -338,6 +342,7 @@ CaseExecutor StatusProbeExecutor(SystemFactory factory) {
       result.violations.push_back(std::move(violation));
     }
     result.found_failure = !result.violations.empty();
+    result.trace_report = Summarize(env.simulator().Trace());
     return result;
   };
 }

@@ -14,6 +14,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Streaming campaigns pre-count the suite for progress totals only while
+// the count stays below this; beyond it the walk would cost real time and
+// the total is reported as 0 ("unknown").
+constexpr uint64_t kPrecountLimit = 1000000;
+
 double MicrosSince(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
 }
@@ -22,6 +27,56 @@ struct WorkItem {
   uint64_t index = 0;
   TestCase test_case;
 };
+
+// Runs `worker(shard)` on `threads` threads (inline when threads == 1).
+void RunOnPool(int threads, const std::function<void(int)>& worker) {
+  if (threads <= 1) {
+    worker(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int shard = 0; shard < threads; ++shard) {
+    pool.emplace_back(worker, shard);
+  }
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+}
+
+// The triage post-pass: shrink the earliest failing run of every unique
+// signature to a minimal repro, fanned out over the worker pool. Each
+// minimization is a pure function of (case, seed, executor), and results
+// are stored by signature rank, so the output is byte-identical at any
+// thread count.
+void MinimizeFailures(CampaignResult* result, const CaseExecutor& executor,
+                      const CampaignOptions& options, int threads) {
+  std::vector<const CaseResult*> representatives;
+  std::set<std::string> seen;
+  for (const CaseResult& run : result->cases) {
+    if (run.found_failure && seen.insert(run.signature).second) {
+      representatives.push_back(&run);
+    }
+  }
+  std::sort(representatives.begin(), representatives.end(),
+            [](const CaseResult* a, const CaseResult* b) {
+              return a->signature < b->signature;
+            });
+  result->minimized.resize(representatives.size());
+  std::atomic<size_t> next{0};
+  RunOnPool(std::min<int>(threads, static_cast<int>(representatives.size())),
+            [&](int /*shard*/) {
+              for (;;) {
+                const size_t i = next.fetch_add(1);
+                if (i >= representatives.size()) {
+                  break;
+                }
+                result->minimized[i] = MinimizeCase(
+                    representatives[i]->test_case, representatives[i]->seed, executor,
+                    options.minimize);
+              }
+            });
+}
 
 // The shared driver behind both RunCampaign overloads. `next_case` is the
 // work queue head: workers serialize on it to pull the next (index, case)
@@ -43,8 +98,13 @@ CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
 
   std::mutex source_mutex;
   std::mutex progress_mutex;
-  std::atomic<uint64_t> done{0};
-  std::atomic<uint64_t> failures{0};
+  // Progress counters, both guarded by progress_mutex: snapshotting them
+  // together under the callback's lock is what makes the observed
+  // (done, failures) pairs monotonic — separate atomics would let a
+  // concurrent worker's failure land between the two reads.
+  uint64_t progress_done = 0;
+  uint64_t progress_failures = 0;
+  const uint64_t total_runs = total_cases * static_cast<uint64_t>(seeds);
   std::vector<std::vector<CaseResult>> shards(static_cast<size_t>(threads));
 
   const Clock::time_point campaign_start = Clock::now();
@@ -66,32 +126,24 @@ CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
         result.found_failure = run.found_failure;
         result.signature = FailureSignature(run);
         result.trace = std::move(run.trace);
+        if (run.found_failure) {
+          result.test_case = item.test_case;  // retained for the triage pass
+        }
         result.host_micros = MicrosSince(case_start);
+        const bool found_failure = result.found_failure;
         shards[static_cast<size_t>(shard)].push_back(std::move(result));
-        const uint64_t done_now = done.fetch_add(1) + 1;
-        const uint64_t failures_now =
-            run.found_failure ? failures.fetch_add(1) + 1 : failures.load();
         if (options.progress) {
           std::lock_guard<std::mutex> lock(progress_mutex);
-          options.progress(done_now, total_cases * static_cast<uint64_t>(seeds),
-                           failures_now);
+          ++progress_done;
+          if (found_failure) {
+            ++progress_failures;
+          }
+          options.progress(progress_done, total_runs, progress_failures);
         }
       }
     }
   };
-
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int shard = 0; shard < threads; ++shard) {
-      pool.emplace_back(worker, shard);
-    }
-    for (std::thread& thread : pool) {
-      thread.join();
-    }
-  }
+  RunOnPool(threads, worker);
 
   CampaignResult result;
   for (std::vector<CaseResult>& shard : shards) {
@@ -115,6 +167,13 @@ CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
         static_cast<int64_t>(run.case_index) < result.first_failure_index) {
       result.first_failure_index = static_cast<int64_t>(run.case_index);
     }
+  }
+  result.sweep_seconds = MicrosSince(campaign_start) / 1e6;
+
+  if (options.minimize_failures && result.failures > 0) {
+    const Clock::time_point minimize_start = Clock::now();
+    MinimizeFailures(&result, executor, options, threads);
+    result.minimize_seconds = MicrosSince(minimize_start) / 1e6;
   }
   result.wall_seconds = MicrosSince(campaign_start) / 1e6;
   return result;
@@ -158,7 +217,7 @@ CampaignOptions CampaignOptionsFromEnv() {
 }
 
 double CampaignResult::CasesPerSecond() const {
-  return wall_seconds > 0 ? static_cast<double>(cases_run) / wall_seconds : 0;
+  return sweep_seconds > 0 ? static_cast<double>(cases_run) / sweep_seconds : 0;
 }
 
 std::string CampaignResult::VerdictDigest() const {
@@ -200,6 +259,12 @@ CampaignResult RunCampaign(const std::vector<TestCase>& suite, const CaseExecuto
 CampaignResult RunCampaign(const TestCaseGenerator& generator, int max_length,
                            const PruningRules& rules, const CaseExecutor& executor,
                            const CampaignOptions& options) {
+  // Pre-count the suite so progress observers get a real total: the count
+  // streams the pruned space without materializing it, and bails out (to
+  // total == 0, "unknown") when the space reaches kPrecountLimit cases.
+  // Without an observer the total is never read, so skip the walk.
+  const uint64_t total =
+      options.progress ? generator.CountUpTo(max_length, rules, kPrecountLimit) : 0;
   TestCaseGenerator::Cursor cursor = generator.MakeCursorUpTo(max_length, rules);
   uint64_t next = 0;
   const auto source = [&cursor, &next](WorkItem* item) {
@@ -209,7 +274,7 @@ CampaignResult RunCampaign(const TestCaseGenerator& generator, int max_length,
     item->index = next++;
     return true;
   };
-  return RunWithSource(source, executor, options, 0);
+  return RunWithSource(source, executor, options, total);
 }
 
 }  // namespace neat

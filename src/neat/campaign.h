@@ -12,6 +12,11 @@
 //
 // Suites are fed either from a materialized vector or straight from a
 // TestCaseGenerator cursor, so length-5 spaces never exist in memory.
+//
+// With CampaignOptions::minimize_failures set, the sweep is followed by a
+// triage post-pass: one representative failing run per unique failure
+// signature is shrunk to a minimal repro (neat/minimize.h) on the same
+// worker pool. neat/report.h renders the whole result as JSON/Markdown.
 
 #ifndef NEAT_CAMPAIGN_H_
 #define NEAT_CAMPAIGN_H_
@@ -23,27 +28,11 @@
 #include <vector>
 
 #include "check/history.h"
+#include "neat/execution.h"
+#include "neat/minimize.h"
 #include "neat/testgen.h"
 
 namespace neat {
-
-// The outcome of executing one abstract test case against one system.
-struct ExecutionResult {
-  // Catastrophic violations found by the checkers after the run.
-  std::vector<check::Violation> violations;
-  bool found_failure = false;
-  std::string trace;  // the executed event sequence
-};
-
-// Runs one test case in a freshly built system under the given seed.
-// Campaign workers invoke the executor concurrently, so every call must
-// construct its own simulation and share no mutable state.
-using CaseExecutor = std::function<ExecutionResult(const TestCase& test_case, uint64_t seed)>;
-
-// The deduplication key for a failing run: the sorted set of distinct
-// violation impacts, joined with '+' (e.g. "dirty read+stale read").
-// Empty for a passing run.
-std::string FailureSignature(const ExecutionResult& result);
 
 // Reads a positive integer knob from the environment, falling back when the
 // variable is unset or unparsable. Used for NEAT_THREADS / NEAT_SEEDS.
@@ -55,9 +44,18 @@ struct CampaignOptions {
   // Each case runs under seeds 1..seeds (the multi-seed dimension).
   int seeds = 1;
   // Optional progress observer, invoked after every completed run with
-  // (runs done, total runs or 0 when streaming, failures so far). Calls are
-  // serialized but may come from any worker thread.
+  // (runs done, total runs — 0 when the total is unknown, failures so
+  // far). The three values are snapshotted together under one lock, so
+  // observers see `done` advance by exactly one per call and `failures`
+  // grow monotonically. Calls are serialized but may come from any worker
+  // thread. Streaming campaigns pre-count the suite when that is cheap
+  // (see RunCampaign below); a total of 0 means "unknown".
   std::function<void(uint64_t done, uint64_t total, uint64_t failures)> progress;
+  // Triage post-pass: after the sweep, shrink one representative failing
+  // run per unique failure signature to a minimal repro, in parallel on
+  // the worker pool. Results land in CampaignResult::minimized.
+  bool minimize_failures = false;
+  MinimizeOptions minimize;
 };
 
 // threads from NEAT_THREADS (default: hardware), seeds from NEAT_SEEDS
@@ -71,6 +69,9 @@ struct CaseResult {
   bool found_failure = false;
   std::string signature;  // FailureSignature of the run; empty if it passed
   std::string trace;      // the executed event sequence
+  // The abstract case itself, retained only for failing runs so the triage
+  // post-pass can re-execute them; empty for passing runs.
+  TestCase test_case;
   double host_micros = 0; // wall-clock cost of this run on its worker
 };
 
@@ -83,9 +84,15 @@ struct CampaignResult {
   int64_t first_failure_index = -1;
   // Failure-signature dedup: signature -> number of failing runs.
   std::map<std::string, uint64_t> signature_counts;
-  double wall_seconds = 0;        // end-to-end campaign wall time
-  double total_host_micros = 0;   // sum of per-run cost across all workers
+  // Minimal repros, one per unique failure signature in signature order.
+  // Empty unless CampaignOptions::minimize_failures was set.
+  std::vector<MinimizedRepro> minimized;
+  double wall_seconds = 0;      // end-to-end: sweep plus triage post-pass
+  double sweep_seconds = 0;     // the sweep phase alone
+  double minimize_seconds = 0;  // the triage post-pass alone (0 if skipped)
+  double total_host_micros = 0; // sum of per-run cost across all workers
 
+  // Sweep-phase throughput (the triage post-pass is excluded).
   double CasesPerSecond() const;
   // FNV-1a digest over (case_index, seed, verdict, signature) of every run;
   // equal digests mean identical per-case verdicts. Timing is excluded, so
@@ -99,7 +106,10 @@ CampaignResult RunCampaign(const std::vector<TestCase>& suite, const CaseExecuto
                            const CampaignOptions& options);
 
 // Streaming variant: cases are pulled straight from a generator cursor
-// (lengths 1..max_length), so the suite is never materialized.
+// (lengths 1..max_length), so the suite is never materialized. The suite is
+// pre-counted through TestCaseGenerator::CountUpTo when the space holds
+// fewer than one million cases, so progress observers see a real total;
+// larger spaces report total == 0 ("unknown").
 CampaignResult RunCampaign(const TestCaseGenerator& generator, int max_length,
                            const PruningRules& rules, const CaseExecutor& executor,
                            const CampaignOptions& options);

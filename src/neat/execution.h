@@ -1,0 +1,47 @@
+// The executor contract shared by the campaign runner (neat/campaign.h)
+// and the failure minimizer (neat/minimize.h): one abstract test case is
+// executed against one freshly built system under one seed, producing a
+// deterministic verdict. Splitting this out of campaign.h lets the
+// minimizer re-execute cases without depending on the campaign machinery.
+
+#ifndef NEAT_EXECUTION_H_
+#define NEAT_EXECUTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "neat/testgen.h"
+#include "neat/trace_report.h"
+
+namespace neat {
+
+// The outcome of executing one abstract test case against one system.
+struct ExecutionResult {
+  // Catastrophic violations found by the checkers after the run.
+  std::vector<check::Violation> violations;
+  bool found_failure = false;
+  std::string trace;  // the executed event sequence
+  // Summary of the run's simulation trace (drops per link, leadership
+  // timeline). Filled by the real executors; empty for synthetic ones.
+  TraceReport trace_report;
+};
+
+// Runs one test case in a freshly built system under the given seed.
+// Campaign workers invoke the executor concurrently, so every call must
+// construct its own simulation and share no mutable state. Executors must
+// be deterministic: the same (test_case, seed) pair always yields the same
+// verdict — the campaign's parallel==serial contract and the minimizer's
+// shrink decisions both rest on this.
+using CaseExecutor = std::function<ExecutionResult(const TestCase& test_case, uint64_t seed)>;
+
+// The deduplication key for a failing run: the sorted set of distinct
+// violation impacts, joined with '+' (e.g. "dirty read+stale read").
+// Empty for a passing run.
+std::string FailureSignature(const ExecutionResult& result);
+
+}  // namespace neat
+
+#endif  // NEAT_EXECUTION_H_

@@ -1,0 +1,189 @@
+#include "neat/minimize.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace neat {
+namespace {
+
+// Simplicity ranks for the partition-event simplification pass: a complete
+// partition is the easiest shape to reason about, and isolating the fixed
+// "any replica" needs no leader lookup.
+int KindRank(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kComplete:
+      return 0;
+    case PartitionKind::kPartial:
+      return 1;
+    case PartitionKind::kSimplex:
+      return 2;
+  }
+  return 3;
+}
+
+int TargetRank(IsolationTarget target) {
+  return target == IsolationTarget::kAnyReplica ? 0 : 1;
+}
+
+// Memoizing probe wrapper: candidates recur across ddmin rounds (the same
+// subsequence reappears at different granularities), and FormatTestCase is
+// injective over the attributes TestEvent::operator== compares, so the
+// formatted case is a sound memo key. Probes count real executions only.
+class Prober {
+ public:
+  Prober(const CaseExecutor& executor, uint64_t seed, uint64_t max_probes)
+      : executor_(executor), seed_(seed), max_probes_(max_probes) {}
+
+  // The FailureSignature of the candidate, or nullopt once the probe
+  // budget is spent (callers treat that as "not preserved", which keeps
+  // the best case found so far).
+  std::optional<std::string> Signature(const TestCase& candidate) {
+    const std::string key = FormatTestCase(candidate);
+    const auto memo = memo_.find(key);
+    if (memo != memo_.end()) {
+      return memo->second;
+    }
+    if (probes_ >= max_probes_) {
+      return std::nullopt;
+    }
+    ++probes_;
+    const std::string signature = FailureSignature(executor_(candidate, seed_));
+    memo_.emplace(key, signature);
+    return signature;
+  }
+
+  uint64_t probes() const { return probes_; }
+
+ private:
+  const CaseExecutor& executor_;
+  uint64_t seed_;
+  uint64_t max_probes_;
+  uint64_t probes_ = 0;
+  std::map<std::string, std::string> memo_;
+};
+
+}  // namespace
+
+MinimizedRepro MinimizeCase(const TestCase& failing, uint64_t seed,
+                            const CaseExecutor& executor, const MinimizeOptions& options) {
+  MinimizedRepro repro;
+  repro.seed = seed;
+  repro.original = failing;
+  repro.minimized = failing;
+
+  Prober prober(executor, seed, std::max<uint64_t>(1, options.max_probes));
+  auto step = [&repro, &prober](const char* phase, std::string detail, size_t events) {
+    repro.log.push_back(
+        ShrinkStep{phase, std::move(detail), events, prober.probes()});
+  };
+
+  // Phase 0: reproduce. The original run fixes the signature every later
+  // candidate must preserve.
+  const std::optional<std::string> original = prober.Signature(failing);
+  if (!original.has_value() || original->empty()) {
+    // The "failing" case passed on replay: nothing to preserve, so nothing
+    // to shrink. reproduced stays false and the caller sees the original.
+    repro.probes = prober.probes();
+    step("reproduce", "original case did not fail on replay", failing.size());
+    repro.final_result = executor(failing, seed);
+    return repro;
+  }
+  repro.signature = *original;
+  step("reproduce", "signature \"" + repro.signature + "\" confirmed", failing.size());
+
+  const auto preserved = [&prober, &repro](const TestCase& candidate) {
+    const std::optional<std::string> signature = prober.Signature(candidate);
+    return signature.has_value() && *signature == repro.signature;
+  };
+
+  // Phase 1: ddmin over the event sequence (complement removal). Split the
+  // current case into n chunks and try dropping each chunk in order; on
+  // success restart at coarser granularity, otherwise refine until chunks
+  // are single events. Terminates 1-minimal w.r.t. single-event removal
+  // (unless the probe budget runs out first).
+  TestCase current = repro.minimized;
+  size_t chunks = 2;
+  while (current.size() >= 2) {
+    chunks = std::min(chunks, current.size());
+    bool reduced = false;
+    for (size_t i = 0; i < chunks; ++i) {
+      const size_t begin = current.size() * i / chunks;
+      const size_t end = current.size() * (i + 1) / chunks;
+      TestCase candidate;
+      candidate.reserve(current.size() - (end - begin));
+      candidate.insert(candidate.end(), current.begin(), current.begin() + begin);
+      candidate.insert(candidate.end(), current.begin() + end, current.end());
+      if (candidate.empty() || !preserved(candidate)) {
+        continue;
+      }
+      std::string removed;
+      for (size_t j = begin; j < end; ++j) {
+        if (!removed.empty()) {
+          removed += ", ";
+        }
+        removed += current[j].DebugString();
+      }
+      current = std::move(candidate);
+      step("ddmin", "removed [" + removed + "]", current.size());
+      chunks = std::max<size_t>(2, chunks - 1);
+      reduced = true;
+      break;
+    }
+    if (!reduced) {
+      if (chunks >= current.size()) {
+        break;
+      }
+      chunks = std::min(current.size(), chunks * 2);
+    }
+  }
+
+  // Phase 2: simplify the partition events in place. For each partition
+  // event, try every strictly simpler (kind, target) variant in ascending
+  // simplicity order and keep the first that preserves the signature.
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (current[i].kind != EventKind::kPartition) {
+      continue;
+    }
+    const int rank = KindRank(current[i].partition) * 2 + TargetRank(current[i].target);
+    for (PartitionKind kind :
+         {PartitionKind::kComplete, PartitionKind::kPartial, PartitionKind::kSimplex}) {
+      bool simplified = false;
+      for (IsolationTarget target : {IsolationTarget::kAnyReplica, IsolationTarget::kLeader}) {
+        if (KindRank(kind) * 2 + TargetRank(target) >= rank) {
+          continue;
+        }
+        TestCase candidate = current;
+        candidate[i].partition = kind;
+        candidate[i].target = target;
+        if (!preserved(candidate)) {
+          continue;
+        }
+        step("simplify",
+             current[i].DebugString() + " -> " + candidate[i].DebugString(),
+             candidate.size());
+        current = std::move(candidate);
+        simplified = true;
+        break;
+      }
+      if (simplified) {
+        break;
+      }
+    }
+  }
+
+  repro.minimized = std::move(current);
+
+  // Phase 3: verify. Re-execute the minimal case for the full result (the
+  // memo keeps only signatures); determinism makes this probe a formality.
+  repro.final_result = executor(repro.minimized, seed);
+  repro.reproduced = FailureSignature(repro.final_result) == repro.signature;
+  repro.probes = prober.probes() + 1;
+  step("verify",
+       repro.reproduced ? "minimal repro fails with the original signature"
+                        : "verification mismatch",
+       repro.minimized.size());
+  return repro;
+}
+
+}  // namespace neat

@@ -1,0 +1,71 @@
+// Delta-debugging minimization of failing test cases.
+//
+// A campaign hands back failing runs as raw event sequences; the paper's
+// actual deliverable (§6, Table 15) is a small, understandable reproduction
+// per distinct failure. MinimizeCase implements ddmin-style shrinking
+// (Zeller & Hildebrandt's complement-removal variant) over the
+// deterministic replay harness: it re-executes candidate subsequences of
+// the failing case under the same seed and accepts a candidate only if the
+// run's FailureSignature is preserved, so the minimal repro provably still
+// exhibits the same failure. A second pass simplifies the partition events
+// themselves, replacing each with the simplest variant (complete before
+// partial before simplex, any-replica before leader isolation) that keeps
+// the signature.
+//
+// The whole procedure is a pure function of (test case, seed, executor):
+// no randomness, fixed candidate order, memoized probes — so minimizing on
+// one thread or sixteen yields byte-identical repros.
+
+#ifndef NEAT_MINIMIZE_H_
+#define NEAT_MINIMIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "neat/execution.h"
+#include "neat/testgen.h"
+
+namespace neat {
+
+struct MinimizeOptions {
+  // Hard cap on executor invocations; shrinking stops (keeping the best
+  // case so far) once the budget is spent. ddmin needs O(n^2) probes worst
+  // case, typically far fewer.
+  uint64_t max_probes = 2000;
+};
+
+// One accepted step of the shrink process.
+struct ShrinkStep {
+  std::string phase;   // "reproduce" | "ddmin" | "simplify" | "verify"
+  std::string detail;  // what was removed/replaced
+  size_t events_after = 0;
+  uint64_t probes_after = 0;  // cumulative executor invocations
+};
+
+// The minimal reproduction for one failure signature.
+struct MinimizedRepro {
+  std::string signature;  // the preserved FailureSignature
+  uint64_t seed = 1;
+  TestCase original;
+  TestCase minimized;
+  // True when the minimized case was re-executed and failed with
+  // `signature`. False only if the original run did not reproduce at all
+  // (flaky executor — a contract violation) — minimized == original then.
+  bool reproduced = false;
+  uint64_t probes = 0;  // total executor invocations, memoized duplicates excluded
+  std::vector<ShrinkStep> log;
+  // The re-execution of `minimized`: violations and trace summary for
+  // reporting.
+  ExecutionResult final_result;
+};
+
+// Shrinks `failing` (which failed under `seed`) to a 1-minimal event
+// sequence with the same FailureSignature, by deterministic re-execution.
+MinimizedRepro MinimizeCase(const TestCase& failing, uint64_t seed,
+                            const CaseExecutor& executor,
+                            const MinimizeOptions& options = MinimizeOptions());
+
+}  // namespace neat
+
+#endif  // NEAT_MINIMIZE_H_

@@ -1,0 +1,221 @@
+#include "neat/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "neat/trace_report.h"
+
+namespace neat {
+namespace {
+
+// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonString(const std::string& text) { return "\"" + JsonEscape(text) + "\""; }
+
+// Fixed-precision seconds: JSON stays locale-independent and diff-friendly.
+std::string JsonSeconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", seconds);
+  return buffer;
+}
+
+size_t TotalDrops(const TraceReport& report) {
+  size_t total = 0;
+  for (const auto& [link, count] : report.drops_per_link) {
+    total += count;
+  }
+  return total;
+}
+
+// The repro for `signature`, or nullptr when minimization did not run (or
+// — contract violation — produced no entry for it).
+const MinimizedRepro* FindRepro(const CampaignResult& result, const std::string& signature) {
+  for (const MinimizedRepro& repro : result.minimized) {
+    if (repro.signature == signature) {
+      return &repro;
+    }
+  }
+  return nullptr;
+}
+
+void AppendJsonRepro(std::ostringstream& os, const MinimizedRepro& repro,
+                     const std::string& indent) {
+  os << "{\n";
+  os << indent << "  \"seed\": " << repro.seed << ",\n";
+  os << indent << "  \"original\": " << JsonString(FormatTestCase(repro.original)) << ",\n";
+  os << indent << "  \"minimized\": " << JsonString(FormatTestCase(repro.minimized))
+     << ",\n";
+  os << indent << "  \"original_events\": " << repro.original.size() << ",\n";
+  os << indent << "  \"minimized_events\": " << repro.minimized.size() << ",\n";
+  os << indent << "  \"probes\": " << repro.probes << ",\n";
+  os << indent << "  \"reproduced\": " << (repro.reproduced ? "true" : "false") << ",\n";
+  os << indent << "  \"shrink_log\": [";
+  for (size_t i = 0; i < repro.log.size(); ++i) {
+    const ShrinkStep& step = repro.log[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << indent << "    { \"phase\": " << JsonString(step.phase)
+       << ", \"detail\": " << JsonString(step.detail)
+       << ", \"events_after\": " << step.events_after
+       << ", \"probes_after\": " << step.probes_after << " }";
+  }
+  os << (repro.log.empty() ? "" : "\n" + indent + "  ") << "],\n";
+  const TraceReport& trace = repro.final_result.trace_report;
+  os << indent << "  \"trace\": { \"total_records\": " << trace.total_records
+     << ", \"dropped_messages\": " << TotalDrops(trace)
+     << ", \"dropped_links\": " << trace.drops_per_link.size()
+     << ", \"leadership_events\": " << trace.leadership_events.size() << " }\n";
+  os << indent << "}";
+}
+
+}  // namespace
+
+std::string JsonReport(const CampaignResult& result, const ReportContext& context) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"title\": " << JsonString(context.title) << ",\n";
+  os << "  \"system\": " << JsonString(context.system) << ",\n";
+  os << "  \"suite\": " << JsonString(context.suite) << ",\n";
+  os << "  \"threads\": " << context.threads << ",\n";
+  os << "  \"seeds\": " << context.seeds << ",\n";
+  os << "  \"campaign\": {\n";
+  os << "    \"cases_run\": " << result.cases_run << ",\n";
+  os << "    \"failures\": " << result.failures << ",\n";
+  os << "    \"first_failure_index\": " << result.first_failure_index << ",\n";
+  os << "    \"cases_per_second\": " << JsonSeconds(result.CasesPerSecond()) << ",\n";
+  os << "    \"sweep_seconds\": " << JsonSeconds(result.sweep_seconds) << ",\n";
+  os << "    \"minimize_seconds\": " << JsonSeconds(result.minimize_seconds) << ",\n";
+  os << "    \"wall_seconds\": " << JsonSeconds(result.wall_seconds) << ",\n";
+  os << "    \"verdict_digest\": " << JsonString(result.VerdictDigest()) << "\n";
+  os << "  },\n";
+  os << "  \"signatures\": [";
+  size_t index = 0;
+  for (const auto& [signature, count] : result.signature_counts) {
+    os << (index++ == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"signature\": " << JsonString(signature) << ",\n";
+    os << "      \"count\": " << count << ",\n";
+    os << "      \"repro\": ";
+    const MinimizedRepro* repro = FindRepro(result, signature);
+    if (repro == nullptr) {
+      os << "null";
+    } else {
+      AppendJsonRepro(os, *repro, "      ");
+    }
+    os << "\n    }";
+  }
+  os << (result.signature_counts.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string MarkdownReport(const CampaignResult& result, const ReportContext& context) {
+  std::ostringstream os;
+  os << "# " << context.title << "\n\n";
+  os << "- **system:** " << context.system << "\n";
+  os << "- **suite:** " << context.suite << "\n";
+  os << "- **threads:** " << context.threads << " (0 = one per hardware thread), "
+     << "**seeds:** " << context.seeds << "\n";
+  os << "- **verdict digest:** `" << result.VerdictDigest() << "`\n\n";
+
+  os << "## Campaign\n\n";
+  os << "| runs | failures | first failure | cases/s | sweep s | minimize s | wall s |\n";
+  os << "|---:|---:|---:|---:|---:|---:|---:|\n";
+  char row[256];
+  std::snprintf(row, sizeof(row),
+                "| %llu | %llu | %lld | %.1f | %.3f | %.3f | %.3f |\n",
+                static_cast<unsigned long long>(result.cases_run),
+                static_cast<unsigned long long>(result.failures),
+                static_cast<long long>(result.first_failure_index),
+                result.CasesPerSecond(), result.sweep_seconds, result.minimize_seconds,
+                result.wall_seconds);
+  os << row;
+
+  os << "\n## Failure signatures\n\n";
+  if (result.signature_counts.empty()) {
+    os << "No failing runs.\n";
+    return os.str();
+  }
+  os << "| signature | failing runs | minimized repro | events |\n";
+  os << "|---|---:|---|---:|\n";
+  for (const auto& [signature, count] : result.signature_counts) {
+    const MinimizedRepro* repro = FindRepro(result, signature);
+    os << "| " << signature << " | " << count << " | "
+       << (repro == nullptr ? std::string("*(not minimized)*")
+                            : "`" + FormatTestCase(repro->minimized) + "`")
+       << " | "
+       << (repro == nullptr ? std::string("-") : std::to_string(repro->minimized.size()))
+       << " |\n";
+  }
+
+  for (const MinimizedRepro& repro : result.minimized) {
+    os << "\n### Repro: " << repro.signature << "\n\n";
+    os << "- **original** (" << repro.original.size() << " events): `"
+       << FormatTestCase(repro.original) << "`\n";
+    os << "- **minimized** (" << repro.minimized.size() << " events): `"
+       << FormatTestCase(repro.minimized) << "`\n";
+    os << "- **seed:** " << repro.seed << ", **probes:** " << repro.probes
+       << ", **re-verified:** " << (repro.reproduced ? "yes" : "NO") << "\n";
+    os << "\nShrink log:\n\n";
+    for (const ShrinkStep& step : repro.log) {
+      os << "1. *" << step.phase << "* — " << step.detail << " (" << step.events_after
+         << " events, " << step.probes_after << " probes)\n";
+    }
+    const TraceReport& trace = repro.final_result.trace_report;
+    if (trace.total_records > 0) {
+      os << "\nRepro run trace: " << trace.total_records << " records, " << TotalDrops(trace)
+         << " messages dropped on " << trace.drops_per_link.size() << " links, "
+         << trace.leadership_events.size() << " leadership events.\n";
+    }
+    if (!repro.final_result.violations.empty()) {
+      os << "\nViolations:\n\n";
+      for (const check::Violation& violation : repro.final_result.violations) {
+        os << "- **" << violation.impact << "** — " << violation.description << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out.flush());
+}
+
+}  // namespace neat

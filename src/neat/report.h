@@ -1,0 +1,58 @@
+// Structured campaign report artifacts.
+//
+// A campaign that returns hundreds of failing runs as raw event strings
+// leaves the paper's deliverable — a small, understandable reproduction per
+// distinct failure (§6, Table 15) — as manual work. This module renders a
+// CampaignResult (including its triage post-pass, neat/minimize.h) as two
+// artifacts: machine-readable JSON for CI gates and tooling, and a human
+// Markdown digest. Both bundle, per failure signature, the minimized repro
+// with its shrink log, a TraceReport summary of the repro run, campaign
+// throughput with per-phase timing, and the verdict digest.
+
+#ifndef NEAT_REPORT_H_
+#define NEAT_REPORT_H_
+
+#include <string>
+
+#include "neat/campaign.h"
+
+namespace neat {
+
+// Free-form identification of what the campaign swept; embedded verbatim
+// (escaped) in both artifacts.
+struct ReportContext {
+  std::string title;   // e.g. "pbkv triage"
+  std::string system;  // e.g. "pbkv/VoltDB-like"
+  std::string suite;   // e.g. "paper-pruned, len <= 4"
+  int threads = 0;     // 0 = one per hardware thread
+  int seeds = 1;
+};
+
+// The machine-readable artifact. Schema (stable keys, additive evolution):
+//   { "title", "system", "suite", "threads", "seeds",
+//     "campaign": { "cases_run", "failures", "first_failure_index",
+//                   "cases_per_second", "sweep_seconds", "minimize_seconds",
+//                   "wall_seconds", "verdict_digest" },
+//     "signatures": [ { "signature", "count",
+//                       "repro": { "seed", "original", "minimized",
+//                                  "original_events", "minimized_events",
+//                                  "probes", "reproduced",
+//                                  "shrink_log": [ { "phase", "detail",
+//                                                    "events_after",
+//                                                    "probes_after" } ],
+//                                  "trace": { "total_records",
+//                                             "dropped_messages",
+//                                             "dropped_links",
+//                                             "leadership_events" } } } ] }
+// "repro" is null when the campaign ran without minimize_failures.
+std::string JsonReport(const CampaignResult& result, const ReportContext& context);
+
+// The human artifact: the same content as a Markdown document.
+std::string MarkdownReport(const CampaignResult& result, const ReportContext& context);
+
+// Writes `content` to `path`, overwriting. Returns false on I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace neat
+
+#endif  // NEAT_REPORT_H_

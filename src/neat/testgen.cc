@@ -142,6 +142,16 @@ uint64_t TestCaseGenerator::UnprunedCount(int length) const {
   return total;
 }
 
+uint64_t TestCaseGenerator::CountUpTo(int max_length, const PruningRules& rules,
+                                      uint64_t limit) const {
+  uint64_t count = 0;
+  const bool complete = StreamUpTo(max_length, rules, [&count, limit](const TestCase&) {
+    ++count;
+    return limit == 0 || count < limit;
+  });
+  return complete ? count : 0;
+}
+
 bool TestCaseGenerator::Admissible(const TestCase& prefix, const TestEvent& next,
                                    const PruningRules& rules) const {
   int partitions = 0;

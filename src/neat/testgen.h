@@ -136,6 +136,12 @@ class TestCaseGenerator {
   // (|alphabet|^length over the concrete event instances).
   uint64_t UnprunedCount(int length) const;
 
+  // Counts the admissible sequences of length 1..max_length by streaming
+  // the space — nothing materializes. When `limit` is nonzero and the
+  // space holds at least `limit` cases, counting stops and 0 is returned
+  // ("unknown"), bounding the cost for huge spaces.
+  uint64_t CountUpTo(int max_length, const PruningRules& rules, uint64_t limit = 0) const;
+
   // All concrete event instances the alphabet can produce.
   std::vector<TestEvent> Instances() const;
 

@@ -21,11 +21,12 @@ TraceReport Summarize(const sim::TraceLog& trace) {
   for (const sim::TraceRecord& record : trace.records()) {
     ++report.event_counts[record.event];
     if (record.component == "net" && record.event == "drop") {
-      // Detail looks like "3->1 pbkv.Replicate (partitioned at send)".
+      // Detail looks like "3->1 pbkv.Replicate (partitioned at send)". A
+      // detail with no space separator still counts — under the raw detail
+      // — so the per-link totals always sum to event_counts["drop"].
       const size_t space = record.detail.find(' ');
-      if (space != std::string::npos) {
-        ++report.drops_per_link[record.detail.substr(0, space)];
-      }
+      ++report.drops_per_link[space == std::string::npos ? record.detail
+                                                         : record.detail.substr(0, space)];
     }
     if (IsLeadershipEvent(record.event)) {
       report.leadership_events.push_back(record);

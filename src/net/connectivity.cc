@@ -18,20 +18,33 @@ void ConnectivityCache::AddNode(NodeId node) {
   }
   index_[node] = static_cast<int32_t>(nodes_.size());
   nodes_.push_back(node);
-  Rebuild();
-}
-
-void ConnectivityCache::Rebuild() {
-  stride_words_ = (nodes_.size() + 63) / 64;
-  bits_.assign(nodes_.size() * stride_words_, 0);
-  for (size_t si = 0; si < nodes_.size(); ++si) {
-    for (size_t di = 0; di < nodes_.size(); ++di) {
-      SetBit(static_cast<int>(si), static_cast<int>(di),
-             backend_->Allows(nodes_[si], nodes_[di]));
+  const size_t count = nodes_.size();
+  const size_t new_stride = (count + 63) / 64;
+  if (new_stride != stride_words_) {
+    // Row width grew: re-lay the existing rows out on the wider stride.
+    // Pure bit copying — no backend queries.
+    std::vector<uint64_t> wider(count * new_stride, 0);
+    for (size_t row = 0; row + 1 < count; ++row) {
+      std::copy(bits_.begin() + static_cast<ptrdiff_t>(row * stride_words_),
+                bits_.begin() + static_cast<ptrdiff_t>((row + 1) * stride_words_),
+                wider.begin() + static_cast<ptrdiff_t>(row * new_stride));
     }
+    bits_ = std::move(wider);
+    stride_words_ = new_stride;
+  } else {
+    bits_.resize(count * stride_words_, 0);
+  }
+  // Incremental initialization: only the new node's row and column consult
+  // the backend — O(N) queries per registration instead of the O(N^2) full
+  // rebuild, so building an N-node cluster costs O(N^2) overall, not
+  // O(N^3). Rules installed before registration are reflected because the
+  // backend's answers are authoritative.
+  const int added = static_cast<int>(count) - 1;
+  for (size_t i = 0; i < count; ++i) {
+    SetBit(added, static_cast<int>(i), backend_->Allows(node, nodes_[i]));
+    SetBit(static_cast<int>(i), added, backend_->Allows(nodes_[i], node));
   }
   synced_epoch_ = backend_->epoch();
-  ++full_rebuilds_;
 }
 
 void ConnectivityCache::SetBit(int src_index, int dst_index, bool allowed) {

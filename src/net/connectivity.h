@@ -33,8 +33,9 @@ class ConnectivityCache {
   ConnectivityCache(const ConnectivityCache&) = delete;
   ConnectivityCache& operator=(const ConnectivityCache&) = delete;
 
-  // Starts tracking a node; idempotent. Rebuilds the matrix from the backend
-  // so rules installed before registration are reflected.
+  // Starts tracking a node; idempotent. Initializes only the new node's
+  // row and column from the backend (O(N) queries), so rules installed
+  // before registration are reflected without a full-matrix rebuild.
   void AddNode(NodeId node);
 
   // O(1) verdict for tracked (src, dst) pairs; untracked nodes or a stale
@@ -48,7 +49,10 @@ class ConnectivityCache {
   // the cache is coherent.
   uint64_t synced_epoch() const { return synced_epoch_; }
 
-  // Introspection for tests and benches.
+  // Introspection for tests and benches. full_rebuilds() stays 0 in the
+  // current design — node registration and rule patching are both
+  // incremental — and is regression-checked so an O(N^2) rebuild cannot
+  // silently return.
   uint64_t full_rebuilds() const { return full_rebuilds_; }
   uint64_t patched_pairs() const { return patched_pairs_; }
   uint64_t fallback_queries() const { return fallback_queries_; }
@@ -59,9 +63,6 @@ class ConnectivityCache {
   // Observer hooks, invoked by the backend after each mutation.
   void OnBlock(const Group& srcs, const Group& dsts);
   void OnUnblock(const std::vector<std::pair<NodeId, NodeId>>& coverage);
-
-  // Recomputes the whole bitmap from the backend.
-  void Rebuild();
 
   int IndexOf(NodeId node) const {
     return node >= 0 && static_cast<size_t>(node) < index_.size() ? index_[node] : -1;

@@ -388,6 +388,68 @@ TEST(Campaign, ProgressReportsEveryRunAndIsMonotonic) {
   EXPECT_TRUE(monotonic);
 }
 
+TEST(Campaign, ProgressSnapshotsAreMonotonicUnderManyThreads) {
+  // done and failures are snapshotted together under one lock: across many
+  // workers racing to report, no observer may ever see the failure count
+  // decrease, jump by more than the done count, or see done skip a run.
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const auto suite = gen.EnumerateUpTo(3, PaperPruning());
+  ASSERT_GT(suite.size(), 32u);
+  CampaignOptions options;
+  options.threads = 8;
+  options.seeds = 2;
+  uint64_t last_done = 0;
+  uint64_t last_failures = 0;
+  bool consistent = true;
+  options.progress = [&](uint64_t done, uint64_t total, uint64_t failures_so_far) {
+    consistent = consistent && done == last_done + 1          // no skipped runs
+                 && failures_so_far >= last_failures          // never decreases
+                 && failures_so_far - last_failures <= 1      // at most this run
+                 && failures_so_far <= done && total == suite.size() * 2;
+    last_done = done;
+    last_failures = failures_so_far;
+  };
+  const CampaignResult result = RunCampaign(suite, SyntheticExecutor(), options);
+  EXPECT_TRUE(consistent);
+  EXPECT_EQ(last_done, result.cases_run);
+  EXPECT_EQ(last_failures, result.failures);
+  EXPECT_GT(result.failures, 0u);
+}
+
+TEST(Campaign, StreamingProgressReportsTheCountableTotal) {
+  // The streaming overload pre-counts the pruned space (it is far below the
+  // precount limit), so the progress callback sees the real total instead
+  // of 0.
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const uint64_t expected = gen.EnumerateUpTo(3, PaperPruning()).size();
+  CampaignOptions options;
+  options.threads = 4;
+  options.seeds = 2;
+  uint64_t seen_total = 0;
+  uint64_t calls = 0;
+  options.progress = [&](uint64_t, uint64_t total, uint64_t) {
+    seen_total = total;
+    ++calls;
+  };
+  const CampaignResult result =
+      RunCampaign(gen, 3, PaperPruning(), SyntheticExecutor(), options);
+  EXPECT_EQ(seen_total, expected * 2) << "total covers every (case, seed) run";
+  EXPECT_EQ(calls, result.cases_run);
+}
+
+TEST(TestGen, CountUpToMatchesEnumerationAndHonorsTheLimit) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const uint64_t exact = gen.EnumerateUpTo(3, PaperPruning()).size();
+  EXPECT_EQ(gen.CountUpTo(3, PaperPruning()), exact);
+  EXPECT_EQ(gen.CountUpTo(3, PaperPruning(), exact + 1), exact);
+  // A space at least as large as the limit is reported as 0 ("unknown").
+  EXPECT_EQ(gen.CountUpTo(3, PaperPruning(), exact), 0u);
+  EXPECT_EQ(gen.CountUpTo(3, PaperPruning(), 5), 0u);
+}
+
 TEST(Campaign, EnvKnobsControlThreadsAndSeeds) {
   ASSERT_EQ(setenv("NEAT_THREADS", "7", 1), 0);
   ASSERT_EQ(setenv("NEAT_SEEDS", "3", 1), 0);
@@ -544,6 +606,33 @@ TEST(TraceReport, SummarizesDropsAndLeadership) {
   EXPECT_NE(text.find("3 messages dropped on 2 links"), std::string::npos);
   EXPECT_NE(text.find("worst: 1->2 x2"), std::string::npos);
   EXPECT_NE(text.find("elected"), std::string::npos);
+}
+
+TEST(TraceReport, MalformedDropDetailStillCounts) {
+  // A drop record whose detail has no space separator is counted under the
+  // raw detail, so the per-link totals always sum to event_counts["drop"].
+  sim::TraceLog log;
+  log.Append(sim::Milliseconds(1), "net", "drop", "1->2 pbkv.Replicate (partitioned)");
+  log.Append(sim::Milliseconds(2), "net", "drop", "malformed-detail");
+  log.Append(sim::Milliseconds(3), "net", "drop", "");
+  const TraceReport report = Summarize(log);
+  EXPECT_EQ(report.drops_per_link.at("1->2"), 1u);
+  EXPECT_EQ(report.drops_per_link.at("malformed-detail"), 1u);
+  EXPECT_EQ(report.drops_per_link.at(""), 1u);
+  size_t total = 0;
+  for (const auto& [link, count] : report.drops_per_link) {
+    total += count;
+  }
+  EXPECT_EQ(total, report.event_counts.at("drop"));
+}
+
+TEST(TraceReport, ExecutorsAttachTheRunsTraceSummary) {
+  // The real executors summarize the run's simulation trace into the
+  // result, which the campaign reports bundle per minimized repro.
+  const auto result = RunPbkvTestCase(pbkv::VoltDbOptions(), DirtyReadCase(), /*seed=*/1);
+  EXPECT_GT(result.trace_report.total_records, 0u);
+  EXPECT_FALSE(result.trace_report.drops_per_link.empty())
+      << "the partition must have dropped traffic";
 }
 
 TEST(TraceReport, NarratesARealFailureRun) {

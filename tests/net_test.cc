@@ -264,7 +264,7 @@ TEST_P(ConnectivityCacheTest, PatchesOnBlockAndUnblock) {
 
 TEST_P(ConnectivityCacheTest, ReflectsRulesInstalledBeforeTracking) {
   backend_->Block({1}, {9});
-  cache_->AddNode(9);  // rebuild picks up the pre-existing rule
+  cache_->AddNode(9);  // the new row/column pick up the pre-existing rule
   EXPECT_FALSE(cache_->Allows(1, 9));
   EXPECT_TRUE(cache_->Allows(9, 1));
 }
@@ -282,9 +282,74 @@ TEST_P(ConnectivityCacheTest, SelfTrafficAlwaysAllowed) {
   EXPECT_TRUE(cache_->Allows(7, 7));  // even untracked
 }
 
+// Registering a node must stay incremental when the bitmap stride grows past
+// one 64-bit word per row: the re-layout is a pure bit copy, so rules
+// installed before tracking (and rules patched after the growth) are both
+// reflected without any full rebuild or fallback query.
+TEST_P(ConnectivityCacheTest, StrideGrowthKeepsRulesAcrossTheWordBoundary) {
+  const RuleId early = backend_->Block({1, 65}, {2, 66});  // before tracking 65/66
+  for (NodeId n = 7; n <= 70; ++n) {
+    cache_->AddNode(n);  // count crosses 64: rows re-lay onto a wider stride
+  }
+  EXPECT_EQ(cache_->node_count(), 70u);
+  EXPECT_EQ(cache_->full_rebuilds(), 0u);
+  const RuleId late = backend_->Block({70}, {1});  // patched on the wider stride
+  for (NodeId s = 1; s <= 70; ++s) {
+    for (NodeId d = 1; d <= 70; ++d) {
+      ASSERT_EQ(cache_->Allows(s, d), backend_->Allows(s, d))
+          << GetParam() << " cache diverged on " << s << "->" << d;
+    }
+  }
+  EXPECT_TRUE(backend_->Unblock(early));
+  EXPECT_TRUE(backend_->Unblock(late));
+  for (NodeId s = 1; s <= 70; ++s) {
+    for (NodeId d = 1; d <= 70; ++d) {
+      ASSERT_TRUE(cache_->Allows(s, d)) << s << "->" << d;
+    }
+  }
+  EXPECT_EQ(cache_->fallback_queries(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, ConnectivityCacheTest,
                          ::testing::Values("switch", "firewall"),
                          [](const auto& param_info) { return param_info.param; });
+
+// Counts authoritative link queries so the test can pin AddNode's cost to
+// exactly one row plus one column — the regression guard for the old
+// full-matrix rebuild, which made registration O(N^2) per node.
+class CountingBackend : public PartitionBackend {
+ public:
+  size_t rule_count() const override { return 0; }
+  std::string name() const override { return "counting"; }
+  uint64_t link_queries() const { return link_queries_; }
+
+ protected:
+  bool AllowsLink(NodeId, NodeId) const override {
+    ++link_queries_;
+    return true;
+  }
+  RuleId DoBlock(const Group&, const Group&) override { return 0; }
+  bool DoUnblock(RuleId, std::vector<Link>*) override { return false; }
+
+ private:
+  mutable uint64_t link_queries_ = 0;
+};
+
+TEST(ConnectivityCacheCost, AddNodeQueriesOneRowAndOneColumn) {
+  CountingBackend backend;
+  ConnectivityCache cache(&backend);
+  const uint64_t n = 40;
+  for (NodeId node = 0; node < static_cast<NodeId>(n); ++node) {
+    const uint64_t before = backend.link_queries();
+    cache.AddNode(node);
+    // The new node's row and column, minus the self pair (never queried).
+    EXPECT_EQ(backend.link_queries() - before, 2 * static_cast<uint64_t>(node));
+  }
+  EXPECT_EQ(backend.link_queries(), n * (n - 1));
+  EXPECT_EQ(cache.full_rebuilds(), 0u);
+  cache.AddNode(0);  // re-registration is a no-op, not a re-scan
+  EXPECT_EQ(backend.link_queries(), n * (n - 1));
+}
 
 class NetworkTest : public ::testing::Test {
  protected:
@@ -535,6 +600,8 @@ TEST(NetworkProperty, BackendsAndCachesAgreeUnderChurn) {
       }
     }
     EXPECT_GT(sw_cache.patched_pairs(), 0u);
+    EXPECT_EQ(sw_cache.full_rebuilds(), 0u);
+    EXPECT_EQ(fw_cache.full_rebuilds(), 0u);
   }
 }
 
