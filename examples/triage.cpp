@@ -9,7 +9,12 @@
 // longer than the case it came from.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
-//               ./build/examples/triage [output-dir]
+//               ./build/examples/triage [output-dir] [--guided]
+//
+// With --guided, the campaigns run the coverage-guided feedback loop
+// (CampaignOptions::guided) instead of sweeping the pruned space
+// exhaustively; the reports then carry the coverage map and corpus
+// statistics. NEAT_GUIDED_ROUNDS / NEAT_CORPUS_MAX tune the loop.
 
 #include <cstdio>
 #include <string>
@@ -61,11 +66,21 @@ bool CheckTriage(const Target& target) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string dir = argc > 1 ? argv[1] : ".";
-  std::printf("Failure triage: delta-debugging minimization + campaign reports\n\n");
+  std::string dir = ".";
+  bool guided = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--guided") {
+      guided = true;
+    } else {
+      dir = argv[i];
+    }
+  }
+  std::printf("Failure triage: delta-debugging minimization + campaign reports%s\n\n",
+              guided ? " (coverage-guided)" : "");
 
   neat::CampaignOptions options = neat::CampaignOptionsFromEnv();
   options.minimize_failures = true;
+  options.guided = guided;
 
   neat::TestCaseGenerator::Alphabet kv_alphabet;
   neat::TestCaseGenerator kv_generator(kv_alphabet);
@@ -73,15 +88,18 @@ int main(int argc, char** argv) {
   lock_alphabet.client_events = {neat::EventKind::kLock, neat::EventKind::kUnlock};
   neat::TestCaseGenerator lock_generator(lock_alphabet);
 
+  const std::string suite_mode = guided ? "coverage-guided from paper-pruned seeds, len <= 4"
+                                        : "paper-pruned, len <= 4";
   Target targets[] = {
       {"pbkv",
-       {"pbkv triage", "pbkv/VoltDB-like (seeded dirty reads)", "paper-pruned, len <= 4",
+       {"pbkv triage", "pbkv/VoltDB-like (seeded dirty reads)", suite_mode,
         options.threads, options.seeds},
        neat::RunCampaign(kv_generator, 4, neat::PaperPruning(),
                          neat::PbkvCaseExecutor(pbkv::VoltDbOptions()), options)},
       {"locksvc",
        {"locksvc triage", "locksvc/Ignite-like (seeded view shrinking)",
-        "paper-pruned lock/unlock, len <= 4", options.threads, options.seeds},
+        guided ? suite_mode : "paper-pruned lock/unlock, len <= 4", options.threads,
+        options.seeds},
        neat::RunCampaign(lock_generator, 4, neat::PaperPruning(),
                          neat::LocksvcCaseExecutor(locksvc::IgniteOptions()), options)},
   };

@@ -37,12 +37,22 @@ class Search {
     if (!inserted) {
       return false;
     }
-    // Earliest completion among unlinearized mandatory entries bounds which
-    // entries may be linearized next.
+    // Earliest (and second-earliest) completion among unlinearized
+    // mandatory entries bounds which entries may be linearized next. The
+    // candidate itself must be excluded from its own bound — otherwise a
+    // zero-duration op (invoked == completed) could never linearize.
     sim::Time min_completed = kInf;
+    sim::Time second_completed = kInf;
+    size_t min_index = entries_.size();
     for (size_t i = 0; i < entries_.size(); ++i) {
       if ((mask & (1ULL << i)) == 0 && !entries_[i].optional) {
-        min_completed = std::min(min_completed, entries_[i].completed);
+        if (entries_[i].completed < min_completed) {
+          second_completed = min_completed;
+          min_completed = entries_[i].completed;
+          min_index = i;
+        } else {
+          second_completed = std::min(second_completed, entries_[i].completed);
+        }
       }
     }
     for (size_t i = 0; i < entries_.size(); ++i) {
@@ -54,7 +64,8 @@ class Search {
       // B.invoked. The <= (rather than <) matches the NEAT test engine,
       // which issues the next operation at the very instant the previous
       // one completed — those are ordered, not concurrent.
-      if (e.invoked >= min_completed) {
+      const sim::Time bound = i == min_index ? second_completed : min_completed;
+      if (e.invoked >= bound) {
         continue;  // some other op must come first
       }
       if (e.is_write) {

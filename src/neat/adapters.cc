@@ -1,8 +1,30 @@
 #include "neat/adapters.h"
 
+#include <algorithm>
+
+#include "check/linearizability.h"
+#include "neat/coverage.h"
 #include "neat/trace_report.h"
 
 namespace neat {
+namespace {
+
+// FNV-1a over a word sequence — the shared idiom for state digests.
+class StateHash {
+ public:
+  void Mix(uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (word >> (byte * 8)) & 0xff;
+      hash_ *= 1099511628211ull;
+    }
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ull;
+};
+
+}  // namespace
 
 bool LocksvcSystem::GetStatus() {
   // Healthy when a lock round-trip works end to end.
@@ -11,6 +33,40 @@ bool LocksvcSystem::GetStatus() {
     return false;
   }
   return cluster_.Unlock(0, resource).status == check::OpStatus::kOk;
+}
+
+uint64_t PbkvSystem::StateDigest() {
+  StateHash hash;
+  hash.Mix(static_cast<uint64_t>(cluster_.FindPrimary()));
+  return hash.value();
+}
+
+uint64_t RaftKvSystem::StateDigest() {
+  StateHash hash;
+  for (const net::NodeId leader : cluster_.Leaders()) {
+    hash.Mix(static_cast<uint64_t>(leader));
+  }
+  return hash.value();
+}
+
+uint64_t LocksvcSystem::StateDigest() {
+  StateHash hash;
+  for (const net::NodeId id : cluster_.server_ids()) {
+    hash.Mix(static_cast<uint64_t>(id));
+    for (const net::NodeId member : cluster_.server(id).view()) {
+      hash.Mix(static_cast<uint64_t>(member));
+    }
+  }
+  return hash.value();
+}
+
+uint64_t MqueueSystem::StateDigest() {
+  StateHash hash;
+  hash.Mix(static_cast<uint64_t>(cluster_.MasterPerRegistry()));
+  for (const net::NodeId master : cluster_.SelfBelievedMasters()) {
+    hash.Mix(static_cast<uint64_t>(master));
+  }
+  return hash.value();
 }
 
 void SchedSystem::Shutdown() {
@@ -34,51 +90,108 @@ net::NodeId PickIsolated(pbkv::Cluster& cluster, IsolationTarget target) {
   return cluster.server_ids().back();
 }
 
+const char* PartitionKindName(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kComplete:
+      return "complete";
+    case PartitionKind::kPartial:
+      return "partial";
+    case PartitionKind::kSimplex:
+      return "simplex";
+  }
+  return "?";
+}
+
 // The partition/heal machinery every executor shares: builds the requested
-// partition shape around an isolated node and tears it down, keeping track
-// of the currently installed partition so re-partition and final heal are
-// uniform across systems.
+// partition shape around an isolated node (or between explicit groups) and
+// tears it down, keeping track of the currently installed partition so
+// re-partition and final heal are uniform across systems. Each install and
+// heal appends a "neat" trace record — the phase markers the coverage
+// signal keys partition-phase edges off (neat/coverage.h).
 class PartitionScript {
  public:
-  PartitionScript(net::Partitioner& partitioner, net::Group servers)
-      : partitioner_(partitioner), servers_(std::move(servers)) {}
+  PartitionScript(TestEnv& env, net::Group servers)
+      : env_(env), servers_(std::move(servers)) {}
 
   bool partitioned() const { return partitioned_; }
   net::NodeId isolated() const { return isolated_; }
 
   void Partition(PartitionKind kind, net::NodeId isolated) {
-    Heal();
     isolated_ = isolated;
-    const net::Group rest = net::Partitioner::Rest(servers_, {isolated});
+    net::Group rest = net::Partitioner::Rest(servers_, {isolated});
+    if (kind == PartitionKind::kPartial) {
+      // Cut the isolated node from all but one bridge replica.
+      rest = net::Group(rest.begin(), rest.end() - 1);
+    }
+    PartitionGroups(kind, {isolated}, rest);
+  }
+
+  // Cuts `side_a` from `side_b`; nodes in neither group keep full
+  // connectivity (the bridge of a partial partition).
+  void PartitionGroups(PartitionKind kind, const net::Group& side_a,
+                       const net::Group& side_b) {
+    Heal();
     switch (kind) {
       case PartitionKind::kComplete:
-        partition_ = partitioner_.Complete({isolated}, rest);
+        partition_ = env_.partitioner().Complete(side_a, side_b);
         break;
       case PartitionKind::kPartial:
-        // Cut the isolated node from all but one bridge replica.
-        partition_ = partitioner_.Partial({isolated},
-                                          net::Group(rest.begin(), rest.end() - 1));
+        partition_ = env_.partitioner().Partial(side_a, side_b);
         break;
       case PartitionKind::kSimplex:
-        partition_ = partitioner_.Simplex({isolated}, rest);
+        partition_ = env_.partitioner().Simplex(side_a, side_b);
         break;
     }
     partitioned_ = true;
+    sim::Simulator& simulator = env_.simulator();
+    simulator.Trace().Append(simulator.Now(), "neat", "partition", PartitionKindName(kind));
   }
 
   void Heal() {
     if (partitioned_) {
-      partitioner_.Heal(partition_);
+      env_.partitioner().Heal(partition_);
       partitioned_ = false;
+      sim::Simulator& simulator = env_.simulator();
+      simulator.Trace().Append(simulator.Now(), "neat", "heal");
     }
   }
 
  private:
-  net::Partitioner& partitioner_;
+  TestEnv& env_;
   net::Group servers_;
   bool partitioned_ = false;
   net::Partition partition_;
   net::NodeId isolated_ = net::kInvalidNode;
+};
+
+// Samples ISystem::StateDigest between test events and turns the observed
+// transitions into sd: coverage features.
+class StateObserver {
+ public:
+  explicit StateObserver(ISystem& system) : system_(system), last_(system.StateDigest()) {}
+
+  void Observe() {
+    const uint64_t digest = system_.StateDigest();
+    if (digest != last_) {
+      features_.push_back(StateTransitionFeature(last_, digest));
+      last_ = digest;
+    }
+  }
+
+  // The run's full coverage: trace-derived features plus the observed
+  // state transitions, sorted and deduplicated.
+  std::vector<std::string> Finish(const sim::TraceLog& trace) {
+    std::vector<std::string> features = TraceCoverage(trace);
+    features.insert(features.end(), features_.begin(), features_.end());
+    std::sort(features.begin(), features.end());
+    features.erase(std::unique(features.begin(), features.end()), features.end());
+    return features;
+  }
+
+ private:
+  ISystem& system_;
+  uint64_t last_;
+  std::vector<std::string> features_;
 };
 
 }  // namespace
@@ -89,11 +202,13 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
   config.options = options;
   config.num_clients = 2;
   config.seed = seed;
-  pbkv::Cluster cluster(config);
+  PbkvSystem system(config);
+  pbkv::Cluster& cluster = system.cluster();
   cluster.Settle(sim::Milliseconds(500));
 
   ExecutionResult result;
   result.trace = FormatTestCase(test_case);
+  StateObserver observer(system);
 
   constexpr int kMinorityClient = 0;
   constexpr int kMajorityClient = 1;
@@ -101,7 +216,7 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
   cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
   cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
 
-  PartitionScript script(cluster.partitioner(), cluster.server_ids());
+  PartitionScript script(cluster.env(), cluster.server_ids());
   bool slept_for_election = false;
   int value_counter = 0;
   const std::string key = "k";
@@ -154,6 +269,7 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
       case EventKind::kUnlock:
         break;  // pbkv has no locks; the locksvc executor covers those
     }
+    observer.Observe();
   }
 
   if (script.partitioned()) {
@@ -165,6 +281,7 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
     script.Heal();
   }
   cluster.Settle(sim::Seconds(1));
+  observer.Observe();
   cluster.client(kMajorityClient).set_contact(cluster.server_ids().front());
   cluster.client(kMajorityClient).set_allow_redirect(true);
   cluster.Get(kMajorityClient, key, /*final_read=*/true);
@@ -181,6 +298,7 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
   }
   result.found_failure = !result.violations.empty();
   result.trace_report = Summarize(cluster.env().simulator().Trace());
+  result.coverage = observer.Finish(cluster.env().simulator().Trace());
   return result;
 }
 
@@ -190,18 +308,20 @@ ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCa
   config.options = options;
   config.num_clients = 2;
   config.seed = seed;
-  locksvc::Cluster cluster(config);
+  LocksvcSystem system(config);
+  locksvc::Cluster& cluster = system.cluster();
   cluster.Settle(sim::Milliseconds(300));
 
   ExecutionResult result;
   result.trace = FormatTestCase(test_case);
+  StateObserver observer(system);
 
   constexpr int kMinorityClient = 0;
   constexpr int kMajorityClient = 1;
   cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
   cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
 
-  PartitionScript script(cluster.partitioner(), cluster.server_ids());
+  PartitionScript script(cluster.env(), cluster.server_ids());
   const net::NodeId isolated = cluster.server_ids().back();
   const std::string lock = "L";
 
@@ -237,12 +357,277 @@ ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCa
       default:
         break;  // the lock service has no KV surface
     }
+    observer.Observe();
   }
   script.Heal();
   cluster.Settle(sim::Seconds(1));
+  observer.Observe();
   result.violations = check::CheckBrokenLocks(cluster.history());
   result.found_failure = !result.violations.empty();
   result.trace_report = Summarize(cluster.env().simulator().Trace());
+  result.coverage = observer.Finish(cluster.env().simulator().Trace());
+  return result;
+}
+
+ExecutionResult RunRaftKvTestCase(const raftkv::Options& options, const TestCase& test_case,
+                                  uint64_t seed) {
+  raftkv::Cluster::Config config;
+  config.options = options;
+  config.num_servers = 5;  // the #5289 topology needs an orphaned pair
+  config.num_clients = 3;
+  config.seed = seed;
+  RaftKvSystem system(config);
+  raftkv::Cluster& cluster = system.cluster();
+  const net::NodeId initial_leader = cluster.WaitForLeader();
+
+  ExecutionResult result;
+  result.trace = FormatTestCase(test_case);
+  StateObserver observer(system);
+
+  constexpr int kMinorityClient = 0;
+  constexpr int kMajorityClient = 1;
+  constexpr int kAdminClient = 2;
+  cluster.client(kMinorityClient).set_allow_redirect(false);
+  cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(800));
+  cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(800));
+  cluster.client(kAdminClient).set_allow_redirect(false);
+  cluster.client(kAdminClient).set_op_timeout(sim::Milliseconds(800));
+
+  const net::Group servers = cluster.server_ids();
+  PartitionScript script(cluster.env(), servers);
+  // The nodes cut off by the current partition; minority-side client
+  // events contact its first member.
+  net::Group minority_side;
+  bool slept_for_election = false;
+  int value_counter = 0;
+  const std::string key = "k";
+
+  auto client_for = [&](Side side) -> int {
+    if (side == Side::kMinority && script.partitioned() && !minority_side.empty()) {
+      cluster.client(kMinorityClient).set_contact(minority_side.front());
+      return kMinorityClient;
+    }
+    if (script.partitioned() && !slept_for_election) {
+      cluster.Settle(sim::Milliseconds(700));
+      slept_for_election = true;
+    }
+    net::NodeId contact = initial_leader;
+    const std::vector<net::NodeId> leaders = cluster.Leaders();
+    for (const net::NodeId leader : leaders) {
+      if (std::find(minority_side.begin(), minority_side.end(), leader) ==
+          minority_side.end()) {
+        contact = leader;
+        break;
+      }
+    }
+    cluster.client(kMajorityClient).set_contact(contact);
+    return kMajorityClient;
+  };
+
+  for (const TestEvent& event : test_case) {
+    switch (event.kind) {
+      case EventKind::kPartition: {
+        net::NodeId leader = initial_leader;
+        const std::vector<net::NodeId> leaders = cluster.Leaders();
+        if (!leaders.empty()) {
+          leader = leaders.front();
+        }
+        if (event.partition == PartitionKind::kPartial) {
+          // RethinkDB #5289: orphan two replicas behind the cut, keep the
+          // leader plus one replica, leave one bridge replica reaching
+          // both sides — then the admin removes everything beyond the
+          // leader pair while the partition is up. With
+          // delete_log_on_removal, the bridge wipes its log and votes the
+          // orphaned side a second, amnesiac majority.
+          const net::Group others = net::Partitioner::Rest(servers, {leader});
+          const net::Group keep = {leader, others[1]};
+          const net::Group orphaned = {others[2], others[3]};
+          script.PartitionGroups(PartitionKind::kPartial, orphaned, keep);
+          minority_side = orphaned;
+          cluster.Settle(sim::Milliseconds(100));
+          cluster.client(kAdminClient).set_contact(leader);
+          cluster.ChangeMembers(kAdminClient, keep);
+          cluster.Settle(sim::Seconds(1));
+        } else {
+          const net::NodeId isolated =
+              event.target == IsolationTarget::kLeader ? leader : servers.back();
+          script.Partition(event.partition, isolated);
+          minority_side = {isolated};
+        }
+        slept_for_election = false;
+        break;
+      }
+      case EventKind::kHeal:
+        script.Heal();
+        break;
+      case EventKind::kWrite:
+        cluster.Put(client_for(event.side), key, "v" + std::to_string(++value_counter));
+        break;
+      case EventKind::kRead:
+        cluster.Get(client_for(event.side), key);
+        break;
+      case EventKind::kDelete:
+        cluster.Delete(client_for(event.side), key);
+        break;
+      case EventKind::kLock:
+      case EventKind::kUnlock:
+        break;  // no lock surface
+    }
+    observer.Observe();
+  }
+
+  if (script.partitioned()) {
+    cluster.Settle(sim::Milliseconds(800));
+    script.Heal();
+  }
+  cluster.Settle(sim::Seconds(1));
+  observer.Observe();
+  cluster.client(kMajorityClient).set_contact(servers.front());
+  cluster.Get(kMajorityClient, key, /*final_read=*/true);
+
+  const check::History& history = cluster.history();
+  auto add = [&result](std::vector<check::Violation> violations) {
+    result.violations.insert(result.violations.end(), violations.begin(), violations.end());
+  };
+  add(check::CheckDirtyReads(history));
+  add(check::CheckDataLoss(history));
+  add(check::CheckReappearance(history));
+  add(check::CheckStaleReads(history));  // raftkv promises strong consistency
+  const check::LinearizabilityResult linearizable = check::CheckLinearizable(history);
+  if (!linearizable.linearizable) {
+    check::Violation violation;
+    violation.impact = "non-linearizable";
+    violation.description = linearizable.reason;
+    result.violations.push_back(std::move(violation));
+  }
+  result.found_failure = !result.violations.empty();
+  result.trace_report = Summarize(cluster.env().simulator().Trace());
+  result.coverage = observer.Finish(cluster.env().simulator().Trace());
+  return result;
+}
+
+ExecutionResult RunMqueueTestCase(const mqueue::Options& options, const TestCase& test_case,
+                                  uint64_t seed) {
+  mqueue::Cluster::Config config;
+  config.options = options;
+  config.num_clients = 2;
+  config.seed = seed;
+  MqueueSystem system(config);
+  mqueue::Cluster& cluster = system.cluster();
+  cluster.Settle(sim::Milliseconds(500));  // first master election via the registry
+
+  ExecutionResult result;
+  result.trace = FormatTestCase(test_case);
+  StateObserver observer(system);
+
+  constexpr int kMinorityClient = 0;
+  constexpr int kMajorityClient = 1;
+  cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
+  cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
+
+  const std::string queue = "q";
+  // One fully replicated message before any fault: partition-first pruning
+  // leaves no room for a pre-partition enqueue inside the case, but the
+  // double-dequeue flaw needs a message both sides of the cut believe they
+  // hold.
+  cluster.Send(kMajorityClient, queue, "m0");
+  cluster.Settle(sim::Milliseconds(300));
+
+  // The partition universe includes the coordination service, which always
+  // rides the majority side: an isolated master's session expires there
+  // and the survivors elect a replacement (Figure 6).
+  net::Group universe = cluster.broker_ids();
+  universe.push_back(cluster.zk_id());
+  PartitionScript script(cluster.env(), universe);
+  bool slept_for_takeover = false;
+  int value_counter = 0;
+
+  auto client_for = [&](Side side) -> int {
+    if (side == Side::kMinority && script.partitioned()) {
+      cluster.client(kMinorityClient).set_contact(script.isolated());
+      return kMinorityClient;
+    }
+    if (script.partitioned() && !slept_for_takeover) {
+      // Wait out the session timeout so the surviving brokers take over.
+      cluster.Settle(sim::Milliseconds(800));
+      slept_for_takeover = true;
+    }
+    net::NodeId contact = cluster.MasterPerRegistry();
+    if (contact == net::kInvalidNode || contact == script.isolated()) {
+      for (const net::NodeId broker : cluster.broker_ids()) {
+        if (broker != script.isolated()) {
+          contact = broker;
+          break;
+        }
+      }
+    }
+    cluster.client(kMajorityClient).set_contact(contact);
+    return kMajorityClient;
+  };
+
+  for (const TestEvent& event : test_case) {
+    switch (event.kind) {
+      case EventKind::kPartition: {
+        net::NodeId isolated = cluster.MasterPerRegistry();
+        if (event.target == IsolationTarget::kAnyReplica || isolated == net::kInvalidNode) {
+          // A non-master broker (the last one that is not master).
+          for (const net::NodeId broker : cluster.broker_ids()) {
+            if (broker != cluster.MasterPerRegistry()) {
+              isolated = broker;
+            }
+          }
+        }
+        script.Partition(event.partition, isolated);
+        slept_for_takeover = false;
+        break;
+      }
+      case EventKind::kHeal:
+        script.Heal();
+        break;
+      case EventKind::kWrite:
+        cluster.Send(client_for(event.side), queue, "m" + std::to_string(++value_counter));
+        break;
+      case EventKind::kRead:
+        cluster.Receive(client_for(event.side), queue);
+        break;
+      default:
+        break;  // no KV/lock surface
+    }
+    observer.Observe();
+  }
+
+  if (script.partitioned()) {
+    cluster.Settle(sim::Milliseconds(800));
+    script.Heal();
+  }
+  cluster.Settle(sim::Seconds(1));
+  observer.Observe();
+
+  // Drain the healed cluster's queue so the lost-message checker sees the
+  // final state; drained values also complete the double-dequeue pattern.
+  net::NodeId master = cluster.MasterPerRegistry();
+  if (master == net::kInvalidNode) {
+    master = cluster.broker_ids().front();
+  }
+  cluster.client(kMajorityClient).set_contact(master);
+  for (int i = 0; i < 8; ++i) {
+    const check::Operation drained =
+        cluster.Receive(kMajorityClient, queue, /*final_drain=*/true);
+    if (drained.status != check::OpStatus::kOk || drained.value.empty()) {
+      break;
+    }
+  }
+  observer.Observe();
+
+  const check::History& history = cluster.history();
+  auto add = [&result](std::vector<check::Violation> violations) {
+    result.violations.insert(result.violations.end(), violations.begin(), violations.end());
+  };
+  add(check::CheckDoubleDequeue(history));
+  add(check::CheckLostMessages(history));
+  result.found_failure = !result.violations.empty();
+  result.trace_report = Summarize(cluster.env().simulator().Trace());
+  result.coverage = observer.Finish(cluster.env().simulator().Trace());
   return result;
 }
 
@@ -305,6 +690,18 @@ CaseExecutor LocksvcCaseExecutor(const locksvc::Options& options) {
   };
 }
 
+CaseExecutor RaftKvCaseExecutor(const raftkv::Options& options) {
+  return [options](const TestCase& test_case, uint64_t seed) {
+    return RunRaftKvTestCase(options, test_case, seed);
+  };
+}
+
+CaseExecutor MqueueCaseExecutor(const mqueue::Options& options) {
+  return [options](const TestCase& test_case, uint64_t seed) {
+    return RunMqueueTestCase(options, test_case, seed);
+  };
+}
+
 CaseExecutor StatusProbeExecutor(SystemFactory factory) {
   return [factory = std::move(factory)](const TestCase& test_case, uint64_t seed) {
     std::unique_ptr<ISystem> system = factory(seed);
@@ -313,8 +710,9 @@ CaseExecutor StatusProbeExecutor(SystemFactory factory) {
 
     ExecutionResult result;
     result.trace = FormatTestCase(test_case);
+    StateObserver observer(*system);
 
-    PartitionScript script(env.partitioner(), system->Servers());
+    PartitionScript script(env, system->Servers());
     const net::NodeId isolated = system->Servers().back();
     for (const TestEvent& event : test_case) {
       switch (event.kind) {
@@ -328,12 +726,14 @@ CaseExecutor StatusProbeExecutor(SystemFactory factory) {
         default:
           break;  // no generic client surface; client events are skipped
       }
+      observer.Observe();
     }
     if (script.partitioned()) {
       env.Sleep(sim::Milliseconds(800));
       script.Heal();
     }
     env.Sleep(sim::Seconds(1));
+    observer.Observe();
     if (!system->GetStatus()) {
       check::Violation violation;
       violation.impact = "data unavailability";
@@ -343,6 +743,7 @@ CaseExecutor StatusProbeExecutor(SystemFactory factory) {
     }
     result.found_failure = !result.violations.empty();
     result.trace_report = Summarize(env.simulator().Trace());
+    result.coverage = observer.Finish(env.simulator().Trace());
     return result;
   };
 }

@@ -31,6 +31,7 @@ class PbkvSystem : public ISystem {
   TestEnv& Env() override { return cluster_.env(); }
   net::Group Servers() const override { return cluster_.server_ids(); }
   bool GetStatus() override { return cluster_.FindPrimary() != net::kInvalidNode; }
+  uint64_t StateDigest() override;  // who is primary
   void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
   pbkv::Cluster& cluster() { return cluster_; }
 
@@ -45,6 +46,7 @@ class RaftKvSystem : public ISystem {
   TestEnv& Env() override { return cluster_.env(); }
   net::Group Servers() const override { return cluster_.server_ids(); }
   bool GetStatus() override { return !cluster_.Leaders().empty(); }
+  uint64_t StateDigest() override;  // the set of self-believed leaders
   void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
   raftkv::Cluster& cluster() { return cluster_; }
 
@@ -59,6 +61,10 @@ class LocksvcSystem : public ISystem {
   TestEnv& Env() override { return cluster_.env(); }
   net::Group Servers() const override { return cluster_.server_ids(); }
   bool GetStatus() override;
+  // Per-server membership views. GetStatus() probes with a real lock
+  // round-trip and would perturb the run, so the digest reads the views
+  // directly instead.
+  uint64_t StateDigest() override;
   void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
   locksvc::Cluster& cluster() { return cluster_; }
 
@@ -75,6 +81,7 @@ class MqueueSystem : public ISystem {
   TestEnv& Env() override { return cluster_.env(); }
   net::Group Servers() const override { return cluster_.broker_ids(); }
   bool GetStatus() override { return cluster_.MasterPerRegistry() != net::kInvalidNode; }
+  uint64_t StateDigest() override;  // registry master + self-believed masters
   void Shutdown() override { cluster_.env().Crash(cluster_.broker_ids()); }
   mqueue::Cluster& cluster() { return cluster_; }
 
@@ -111,11 +118,13 @@ SystemFactory MakeSchedFactory();
 
 // --- test-case executors ---
 
-// Wraps the pbkv/locksvc runners below as campaign executors: each call
+// Wraps the per-system runners below as campaign executors: each call
 // builds a fresh cluster from the captured options, so the returned
 // executor is safe to invoke concurrently from campaign workers.
 CaseExecutor PbkvCaseExecutor(const pbkv::Options& options, bool strong = true);
 CaseExecutor LocksvcCaseExecutor(const locksvc::Options& options);
+CaseExecutor RaftKvCaseExecutor(const raftkv::Options& options);
+CaseExecutor MqueueCaseExecutor(const mqueue::Options& options);
 
 // A system-agnostic executor over any SystemFactory: it drives only the
 // partition/heal events of the test case (client events need a concrete
@@ -139,6 +148,28 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
 // locksvc client API, and the broken-locks checker judges the run.
 ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCase& test_case,
                                    uint64_t seed);
+
+// The raftkv executor (RethinkDB analog): write/read/delete events map to
+// the KV API on a 5-server cluster. A partial partition reproduces the
+// #5289 topology — two replicas orphaned behind the cut, a bridge replica
+// reaching both sides, and an admin that shrinks the member set to the
+// leader's side while the partition is up (the membership change is part
+// of the fault model, not the event alphabet, mirroring how the paper's
+// RethinkDB failure needs an admin action during the partition). Judged by
+// the KV checkers plus the linearizability checker.
+ExecutionResult RunRaftKvTestCase(const raftkv::Options& options, const TestCase& test_case,
+                                  uint64_t seed);
+
+// The mqueue executor (ActiveMQ analog): write/read events map to
+// send/receive. Setup enqueues one fully replicated message, so a
+// partition-first case can still dequeue on both sides of the cut — the
+// shape of the AMQ-6978 double dequeue. The partition universe includes
+// the coordination service on the majority side (an isolated master's
+// session expires and the survivors elect a replacement, Figure 6), and a
+// final majority-side drain empties the queue for the double-dequeue and
+// lost-message checkers.
+ExecutionResult RunMqueueTestCase(const mqueue::Options& options, const TestCase& test_case,
+                                  uint64_t seed);
 
 }  // namespace neat
 

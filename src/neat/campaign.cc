@@ -4,10 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <set>
 #include <sstream>
 #include <thread>
+
+#include "neat/mutate.h"
 
 namespace neat {
 namespace {
@@ -78,36 +81,42 @@ void MinimizeFailures(CampaignResult* result, const CaseExecutor& executor,
             });
 }
 
-// The shared driver behind both RunCampaign overloads. `next_case` is the
-// work queue head: workers serialize on it to pull the next (index, case)
-// pair, then execute every seed of that case without further coordination.
-// Each worker appends into its own shard; the final sort by (case_index,
-// seed) restores generation order, so aggregation never sees thread
-// scheduling.
-CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
-                             const CaseExecutor& executor, const CampaignOptions& options,
-                             uint64_t total_cases) {
-  const int seeds = std::max(1, options.seeds);
-  int threads = options.threads;
+int ResolveThreads(int threads) {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
   }
-  if (threads <= 0) {
-    threads = 1;
-  }
+  return threads <= 0 ? 1 : threads;
+}
 
-  std::mutex source_mutex;
+// The sweep machinery shared by the exhaustive driver and the guided
+// loop's batches: worker-pool configuration plus the progress counters,
+// which persist across batches so a guided campaign reports one monotonic
+// run count.
+struct SweepState {
+  int threads = 1;
+  int seeds = 1;
+  uint64_t total_runs = 0;  // 0 = unknown
   std::mutex progress_mutex;
-  // Progress counters, both guarded by progress_mutex: snapshotting them
-  // together under the callback's lock is what makes the observed
-  // (done, failures) pairs monotonic — separate atomics would let a
-  // concurrent worker's failure land between the two reads.
+  // Both guarded by progress_mutex: snapshotting them together under the
+  // callback's lock is what makes the observed (done, failures) pairs
+  // monotonic — separate atomics would let a concurrent worker's failure
+  // land between the two reads.
   uint64_t progress_done = 0;
   uint64_t progress_failures = 0;
-  const uint64_t total_runs = total_cases * static_cast<uint64_t>(seeds);
-  std::vector<std::vector<CaseResult>> shards(static_cast<size_t>(threads));
+};
 
-  const Clock::time_point campaign_start = Clock::now();
+// Executes every case `next_case` yields (all seeds each) on the worker
+// pool and appends the runs to `out`, sorted by (case_index, seed).
+// `next_case` is the work queue head: workers serialize on it to pull the
+// next (index, case) pair, then execute without further coordination. Each
+// worker appends into its own shard; the sort restores generation order,
+// so callers never see thread scheduling.
+void SweepInto(SweepState* state, const std::function<bool(WorkItem*)>& next_case,
+               const CaseExecutor& executor, const CampaignOptions& options,
+               std::vector<CaseResult>* out) {
+  std::mutex source_mutex;
+  std::vector<std::vector<CaseResult>> shards(static_cast<size_t>(state->threads));
+
   auto worker = [&](int shard) {
     WorkItem item;
     for (;;) {
@@ -117,7 +126,7 @@ CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
           break;
         }
       }
-      for (int seed = 1; seed <= seeds; ++seed) {
+      for (int seed = 1; seed <= state->seeds; ++seed) {
         const Clock::time_point case_start = Clock::now();
         ExecutionResult run = executor(item.test_case, static_cast<uint64_t>(seed));
         CaseResult result;
@@ -126,6 +135,7 @@ CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
         result.found_failure = run.found_failure;
         result.signature = FailureSignature(run);
         result.trace = std::move(run.trace);
+        result.coverage = std::move(run.coverage);
         if (run.found_failure) {
           result.test_case = item.test_case;  // retained for the triage pass
         }
@@ -133,46 +143,68 @@ CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
         const bool found_failure = result.found_failure;
         shards[static_cast<size_t>(shard)].push_back(std::move(result));
         if (options.progress) {
-          std::lock_guard<std::mutex> lock(progress_mutex);
-          ++progress_done;
+          std::lock_guard<std::mutex> lock(state->progress_mutex);
+          ++state->progress_done;
           if (found_failure) {
-            ++progress_failures;
+            ++state->progress_failures;
           }
-          options.progress(progress_done, total_runs, progress_failures);
+          options.progress(state->progress_done, state->total_runs, state->progress_failures);
         }
       }
     }
   };
-  RunOnPool(threads, worker);
+  RunOnPool(state->threads, worker);
 
-  CampaignResult result;
+  const size_t first = out->size();
   for (std::vector<CaseResult>& shard : shards) {
-    result.cases.insert(result.cases.end(), std::make_move_iterator(shard.begin()),
-                        std::make_move_iterator(shard.end()));
+    out->insert(out->end(), std::make_move_iterator(shard.begin()),
+                std::make_move_iterator(shard.end()));
   }
-  std::sort(result.cases.begin(), result.cases.end(),
+  std::sort(out->begin() + static_cast<std::ptrdiff_t>(first), out->end(),
             [](const CaseResult& a, const CaseResult& b) {
               return a.case_index != b.case_index ? a.case_index < b.case_index
                                                   : a.seed < b.seed;
             });
-  result.cases_run = result.cases.size();
-  for (const CaseResult& run : result.cases) {
-    result.total_host_micros += run.host_micros;
+}
+
+// Computes every aggregate derived from result->cases (already sorted by
+// (case_index, seed)): failure counts, the signature histogram, and the
+// campaign coverage map.
+void AggregateCases(CampaignResult* result) {
+  result->cases_run = result->cases.size();
+  for (const CaseResult& run : result->cases) {
+    result->total_host_micros += run.host_micros;
+    result->coverage.Add(run.coverage);
     if (!run.found_failure) {
       continue;
     }
-    ++result.failures;
-    ++result.signature_counts[run.signature];
-    if (result.first_failure_index < 0 ||
-        static_cast<int64_t>(run.case_index) < result.first_failure_index) {
-      result.first_failure_index = static_cast<int64_t>(run.case_index);
+    ++result->failures;
+    ++result->signature_counts[run.signature];
+    if (result->first_failure_index < 0 ||
+        static_cast<int64_t>(run.case_index) < result->first_failure_index) {
+      result->first_failure_index = static_cast<int64_t>(run.case_index);
     }
   }
+}
+
+// The shared driver behind both exhaustive RunCampaign overloads.
+CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
+                             const CaseExecutor& executor, const CampaignOptions& options,
+                             uint64_t total_cases) {
+  SweepState state;
+  state.seeds = std::max(1, options.seeds);
+  state.threads = ResolveThreads(options.threads);
+  state.total_runs = total_cases * static_cast<uint64_t>(state.seeds);
+
+  const Clock::time_point campaign_start = Clock::now();
+  CampaignResult result;
+  SweepInto(&state, next_case, executor, options, &result.cases);
+  AggregateCases(&result);
   result.sweep_seconds = MicrosSince(campaign_start) / 1e6;
 
   if (options.minimize_failures && result.failures > 0) {
     const Clock::time_point minimize_start = Clock::now();
-    MinimizeFailures(&result, executor, options, threads);
+    MinimizeFailures(&result, executor, options, state.threads);
     result.minimize_seconds = MicrosSince(minimize_start) / 1e6;
   }
   result.wall_seconds = MicrosSince(campaign_start) / 1e6;
@@ -213,6 +245,8 @@ CampaignOptions CampaignOptionsFromEnv() {
   CampaignOptions options;
   options.threads = EnvKnob("NEAT_THREADS", 0);
   options.seeds = EnvKnob("NEAT_SEEDS", 1);
+  options.guided_rounds = EnvKnob("NEAT_GUIDED_ROUNDS", options.guided_rounds);
+  options.corpus_max = EnvKnob("NEAT_CORPUS_MAX", options.corpus_max);
   return options;
 }
 
@@ -241,6 +275,23 @@ std::string CampaignResult::VerdictDigest() const {
   return os.str();
 }
 
+std::string CampaignResult::CorpusDigest() const {
+  uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](const std::string& text) {
+    for (const unsigned char byte : text) {
+      hash ^= byte;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const TestCase& test_case : guided.corpus) {
+    mix(FormatTestCase(test_case));
+    mix("\n");
+  }
+  std::ostringstream os;
+  os << std::hex << hash;
+  return os.str();
+}
+
 CampaignResult RunCampaign(const std::vector<TestCase>& suite, const CaseExecutor& executor,
                            const CampaignOptions& options) {
   uint64_t next = 0;
@@ -259,6 +310,9 @@ CampaignResult RunCampaign(const std::vector<TestCase>& suite, const CaseExecuto
 CampaignResult RunCampaign(const TestCaseGenerator& generator, int max_length,
                            const PruningRules& rules, const CaseExecutor& executor,
                            const CampaignOptions& options) {
+  if (options.guided) {
+    return RunGuidedCampaign(generator, max_length, rules, executor, options);
+  }
   // Pre-count the suite so progress observers get a real total: the count
   // streams the pruned space without materializing it, and bails out (to
   // total == 0, "unknown") when the space reaches kPrecountLimit cases.
@@ -275,6 +329,130 @@ CampaignResult RunCampaign(const TestCaseGenerator& generator, int max_length,
     return true;
   };
   return RunWithSource(source, executor, options, total);
+}
+
+CampaignResult RunGuidedCampaign(const TestCaseGenerator& generator, int max_length,
+                                 const PruningRules& rules, const CaseExecutor& executor,
+                                 const CampaignOptions& options) {
+  SweepState state;
+  state.seeds = std::max(1, options.seeds);
+  state.threads = ResolveThreads(options.threads);
+  state.total_runs = 0;  // open-ended: the loop decides how many runs happen
+
+  const Clock::time_point campaign_start = Clock::now();
+  CampaignResult result;
+  result.guided.enabled = true;
+
+  const uint64_t budget = options.guided_max_cases;
+  uint64_t seed_target = static_cast<uint64_t>(std::max(1, options.corpus_seed_cases));
+  if (budget > 0 && budget < seed_target) {
+    seed_target = budget;
+  }
+
+  // Seed schedule: a stride over the pruned enumeration, so the starting
+  // corpus samples the whole space (short and long cases, every partition
+  // variant) instead of the lexicographic prefix.
+  const uint64_t space = generator.CountUpTo(max_length, rules, kPrecountLimit);
+  const uint64_t stride = space > seed_target ? space / seed_target : 1;
+  std::vector<TestCase> batch;
+  std::set<std::string> scheduled;  // dedup key: the faithful textual form
+  uint64_t walked = 0;
+  generator.StreamUpTo(max_length, rules, [&](const TestCase& test_case) {
+    if (walked++ % stride == 0) {
+      batch.push_back(test_case);
+      scheduled.insert(FormatTestCase(test_case));
+    }
+    return batch.size() < seed_target;
+  });
+  result.guided.seed_cases = batch.size();
+
+  const Mutator mutator(generator.alphabet(), max_length + 2);
+  CoverageMap covered;  // the working map driving corpus admission
+  std::vector<TestCase> corpus;
+  const size_t corpus_max = static_cast<size_t>(std::max(1, options.corpus_max));
+  uint64_t next_index = 0;
+
+  // Executes one batch on the pool, then admits cases to the corpus
+  // serially in schedule order — with mutation scheduling a pure function
+  // of (round, corpus index, mutant index), this keeps the corpus and
+  // coverage map byte-identical at any thread count. Returns the number of
+  // features the batch newly covered.
+  const auto run_batch = [&](const std::vector<TestCase>& cases) -> uint64_t {
+    std::vector<CaseResult> runs;
+    size_t cursor = 0;
+    const auto source = [&](WorkItem* item) {
+      if (cursor >= cases.size()) {
+        return false;
+      }
+      item->index = next_index + cursor;
+      item->test_case = cases[cursor];
+      ++cursor;
+      return true;
+    };
+    SweepInto(&state, source, executor, options, &runs);
+    next_index += cases.size();
+
+    uint64_t new_features = 0;
+    for (size_t c = 0; c < cases.size(); ++c) {
+      uint64_t fresh = 0;
+      for (int s = 0; s < state.seeds; ++s) {
+        fresh += covered.Add(runs[c * static_cast<size_t>(state.seeds) +
+                                  static_cast<size_t>(s)].coverage);
+      }
+      if (fresh > 0 && corpus.size() < corpus_max) {
+        corpus.push_back(cases[c]);
+      }
+      new_features += fresh;
+    }
+    result.cases.insert(result.cases.end(), std::make_move_iterator(runs.begin()),
+                        std::make_move_iterator(runs.end()));
+    return new_features;
+  };
+
+  result.guided.new_features_per_round.push_back(run_batch(batch));
+
+  for (int round = 1; round <= std::max(0, options.guided_rounds); ++round) {
+    const uint64_t remaining = budget == 0 ? std::numeric_limits<uint64_t>::max()
+                               : budget > next_index ? budget - next_index
+                                                     : 0;
+    if (remaining == 0 || corpus.empty()) {
+      break;
+    }
+    // The round's whole mutant batch is derived from the corpus snapshot
+    // before any of it executes; already-scheduled cases are skipped so
+    // the budget buys distinct behaviours.
+    std::vector<TestCase> mutants;
+    const int fan_out = std::max(1, options.mutants_per_entry);
+    for (size_t i = 0; i < corpus.size() && mutants.size() < remaining; ++i) {
+      for (int j = 0; j < fan_out && mutants.size() < remaining; ++j) {
+        TestCase mutant = mutator.Mutate(
+            corpus[i], Mutator::MixSeed(options.guided_seed, static_cast<uint64_t>(round),
+                                        static_cast<uint64_t>(i), static_cast<uint64_t>(j)));
+        if (!scheduled.insert(FormatTestCase(mutant)).second) {
+          ++result.guided.duplicates_skipped;
+          continue;
+        }
+        mutants.push_back(std::move(mutant));
+      }
+    }
+    if (mutants.empty()) {
+      break;
+    }
+    result.guided.mutants_run += mutants.size();
+    result.guided.rounds_run = round;
+    result.guided.new_features_per_round.push_back(run_batch(mutants));
+  }
+  result.guided.corpus = std::move(corpus);
+
+  AggregateCases(&result);
+  result.sweep_seconds = MicrosSince(campaign_start) / 1e6;
+  if (options.minimize_failures && result.failures > 0) {
+    const Clock::time_point minimize_start = Clock::now();
+    MinimizeFailures(&result, executor, options, state.threads);
+    result.minimize_seconds = MicrosSince(minimize_start) / 1e6;
+  }
+  result.wall_seconds = MicrosSince(campaign_start) / 1e6;
+  return result;
 }
 
 }  // namespace neat

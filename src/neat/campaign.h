@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "check/history.h"
+#include "neat/coverage.h"
 #include "neat/execution.h"
 #include "neat/minimize.h"
 #include "neat/testgen.h"
@@ -56,10 +57,32 @@ struct CampaignOptions {
   // the worker pool. Results land in CampaignResult::minimized.
   bool minimize_failures = false;
   MinimizeOptions minimize;
+
+  // --- coverage-guided mode (opt-in feedback loop) ---
+  // When set, the streaming RunCampaign overload runs a fuzzing loop
+  // instead of the exhaustive sweep: a corpus is seeded by stride-sampling
+  // the pruned enumeration, then each round mutates every corpus entry
+  // (neat/mutate.h) and executes the batch on the worker pool; a case
+  // joins the corpus iff its run added coverage (neat/coverage.h).
+  // Mutation scheduling is a pure function of (round, corpus index,
+  // mutant index, guided_seed) and corpus admission happens serially in
+  // schedule order, so guided campaigns honour the same parallel==serial
+  // byte-identity contract as exhaustive ones.
+  bool guided = false;
+  int guided_rounds = 8;       // mutation rounds after the seeding sweep
+  int corpus_max = 128;        // corpus size cap
+  int corpus_seed_cases = 32;  // cases stride-sampled from the enumeration
+  int mutants_per_entry = 4;   // mutation fan-out per corpus entry per round
+  uint64_t guided_seed = 1;    // mutation scheduling seed
+  // Hard cap on distinct cases executed end to end (0 = uncapped) — the
+  // "failures per N runs" budget that bench/coverage_guided and the
+  // half-budget acceptance test compare against exhaustive enumeration.
+  uint64_t guided_max_cases = 0;
 };
 
 // threads from NEAT_THREADS (default: hardware), seeds from NEAT_SEEDS
-// (default: 1) — the knobs that let benches scale to the machine.
+// (default: 1), guided_rounds from NEAT_GUIDED_ROUNDS and corpus_max from
+// NEAT_CORPUS_MAX — the knobs that let benches scale to the machine.
 CampaignOptions CampaignOptionsFromEnv();
 
 // One executed (case, seed) pair.
@@ -72,6 +95,8 @@ struct CaseResult {
   // The abstract case itself, retained only for failing runs so the triage
   // post-pass can re-execute them; empty for passing runs.
   TestCase test_case;
+  // The run's coverage features (ExecutionResult::coverage).
+  std::vector<std::string> coverage;
   double host_micros = 0; // wall-clock cost of this run on its worker
 };
 
@@ -87,6 +112,23 @@ struct CampaignResult {
   // Minimal repros, one per unique failure signature in signature order.
   // Empty unless CampaignOptions::minimize_failures was set.
   std::vector<MinimizedRepro> minimized;
+  // Behavioural coverage accumulated over every run, in (case_index, seed)
+  // order; empty when the executor reports no coverage features.
+  CoverageMap coverage;
+  // Guided-mode outcome; enabled is false for exhaustive sweeps.
+  struct GuidedStats {
+    bool enabled = false;
+    uint64_t seed_cases = 0;          // corpus seeds drawn from the enumeration
+    int rounds_run = 0;               // mutation rounds actually executed
+    uint64_t mutants_run = 0;         // mutants executed across all rounds
+    uint64_t duplicates_skipped = 0;  // mutants dropped as already-scheduled cases
+    // Newly covered features per executed batch; entry 0 is the seeding sweep.
+    std::vector<uint64_t> new_features_per_round;
+    // The final corpus — every case whose run added coverage — in
+    // admission order.
+    std::vector<TestCase> corpus;
+  };
+  GuidedStats guided;
   double wall_seconds = 0;      // end-to-end: sweep plus triage post-pass
   double sweep_seconds = 0;     // the sweep phase alone
   double minimize_seconds = 0;  // the triage post-pass alone (0 if skipped)
@@ -98,6 +140,9 @@ struct CampaignResult {
   // equal digests mean identical per-case verdicts. Timing is excluded, so
   // serial and parallel campaigns of the same suite digest identically.
   std::string VerdictDigest() const;
+  // FNV-1a digest over the guided corpus (FormatTestCase lines in
+  // admission order); equal digests mean byte-identical corpora.
+  std::string CorpusDigest() const;
 };
 
 // Sweeps a materialized suite through `executor` on a pool of
@@ -109,10 +154,20 @@ CampaignResult RunCampaign(const std::vector<TestCase>& suite, const CaseExecuto
 // (lengths 1..max_length), so the suite is never materialized. The suite is
 // pre-counted through TestCaseGenerator::CountUpTo when the space holds
 // fewer than one million cases, so progress observers see a real total;
-// larger spaces report total == 0 ("unknown").
+// larger spaces report total == 0 ("unknown"). With options.guided set,
+// this dispatches to RunGuidedCampaign instead of sweeping exhaustively.
 CampaignResult RunCampaign(const TestCaseGenerator& generator, int max_length,
                            const PruningRules& rules, const CaseExecutor& executor,
                            const CampaignOptions& options);
+
+// The coverage-guided feedback loop (see CampaignOptions). The pruned
+// space defined by (generator, max_length, rules) seeds the corpus;
+// mutants may leave that space (that is the point — the feedback signal,
+// not the static prune, then judges them). Case indices number the runs in
+// schedule order: seeds first, then each round's mutants.
+CampaignResult RunGuidedCampaign(const TestCaseGenerator& generator, int max_length,
+                                 const PruningRules& rules, const CaseExecutor& executor,
+                                 const CampaignOptions& options);
 
 }  // namespace neat
 

@@ -1,0 +1,106 @@
+#include "neat/coverage.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace neat {
+namespace {
+
+// The second whitespace-separated token of a net "drop" detail
+// ("3->1 pbkv.Replicate (partitioned at send)") — the message type.
+std::string DroppedMessageType(const std::string& detail) {
+  const size_t first_space = detail.find(' ');
+  if (first_space == std::string::npos) {
+    return detail;
+  }
+  const size_t start = first_space + 1;
+  const size_t end = detail.find(' ', start);
+  return detail.substr(start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+}  // namespace
+
+size_t CoverageMap::Add(const std::vector<std::string>& features) {
+  size_t unseen = 0;
+  for (const std::string& feature : features) {
+    uint64_t& count = counters_[feature];
+    if (count == 0) {
+      ++unseen;
+    }
+    ++count;
+    ++total_hits_;
+  }
+  return unseen;
+}
+
+void CoverageMap::MergeFrom(const CoverageMap& other) {
+  for (const auto& [feature, count] : other.counters_) {
+    counters_[feature] += count;
+  }
+  total_hits_ += other.total_hits_;
+}
+
+bool CoverageMap::Covers(const std::string& feature) const {
+  return counters_.find(feature) != counters_.end();
+}
+
+std::string CoverageMap::Digest() const {
+  uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](const std::string& text) {
+    for (const unsigned char byte : text) {
+      hash ^= byte;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const auto& [feature, count] : counters_) {
+    mix(feature);
+    mix("=");
+    mix(std::to_string(count));
+    mix("\n");
+  }
+  std::ostringstream os;
+  os << std::hex << hash;
+  return os.str();
+}
+
+std::vector<std::string> TraceCoverage(const sim::TraceLog& trace) {
+  std::set<std::string> features;
+  for (const auto& [a, b] : trace.EventBigrams()) {
+    features.insert("bi:" + a + ">" + b);
+  }
+  // Partition-phase edges: 'b' before the first injected partition, 'p'
+  // while one is installed, 'h' after a heal. The phase markers are the
+  // "neat" records the executors' PartitionScript appends.
+  char phase = 'b';
+  for (const sim::TraceRecord& record : trace.records()) {
+    if (record.component == "neat") {
+      if (record.event == "partition") {
+        phase = 'p';
+      } else if (record.event == "heal") {
+        phase = 'h';
+      }
+      continue;
+    }
+    if (record.component == "net") {
+      if (record.event == "drop") {
+        features.insert(std::string("ph:") + phase + ":" + DroppedMessageType(record.detail));
+      }
+      continue;
+    }
+    // System-level records (elections, step-downs, session expiries):
+    // the event name by phase.
+    features.insert(std::string("ph:") + phase + ":" + record.event);
+  }
+  return std::vector<std::string>(features.begin(), features.end());
+}
+
+std::string StateTransitionFeature(uint64_t before, uint64_t after) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "sd:%016llx>%016llx",
+                static_cast<unsigned long long>(before),
+                static_cast<unsigned long long>(after));
+  return buffer;
+}
+
+}  // namespace neat

@@ -1,0 +1,69 @@
+// Behavioural coverage for guided campaigns.
+//
+// The paper prunes the test-case space with static findings; fuzzing
+// practice adds a dynamic one: direct the budget at cases that exercise
+// *new* system behaviour. This module defines the coverage signal the
+// guided campaign loop (neat/campaign.h) feeds on. Every signal is derived
+// deterministically from what a run already records, so coverage adds no
+// nondeterminism to the parallel==serial contract:
+//
+//   bi:<a>><b>       trace-record event bigrams (sim::TraceLog) — how the
+//                    run interleaved drops, elections, replication
+//   ph:<p>:<type>    partition-phase x message-type edges — which message
+//                    types died (net "drop") or which leadership events
+//                    fired before ('b'), during ('p'), or after ('h') the
+//                    injected partition (the "neat" partition/heal records
+//                    appended by the executors' PartitionScript)
+//   sd:<x>><y>       state-digest transitions observed by the executor
+//                    between events (ISystem::StateDigest)
+//
+// A CoverageMap accumulates features across a campaign; a case earns a
+// place in the guided corpus iff its run contributes a feature the map has
+// not seen.
+
+#ifndef NEAT_COVERAGE_H_
+#define NEAT_COVERAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace neat {
+
+class CoverageMap {
+ public:
+  // Counts every feature and returns how many were previously unseen —
+  // the guided loop's corpus-admission signal.
+  size_t Add(const std::vector<std::string>& features);
+
+  void MergeFrom(const CoverageMap& other);
+
+  bool Covers(const std::string& feature) const;
+  size_t unique_features() const { return counters_.size(); }
+  uint64_t total_hits() const { return total_hits_; }
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
+  // FNV-1a digest over "feature=count" lines in key order; equal digests
+  // mean identical maps (the determinism acceptance tests compare these
+  // across thread counts).
+  std::string Digest() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  uint64_t total_hits_ = 0;
+};
+
+// The trace-derived features of one finished run (the bi: and ph: families
+// above), sorted and deduplicated.
+std::vector<std::string> TraceCoverage(const sim::TraceLog& trace);
+
+// The sd: feature for one observed state-digest transition.
+std::string StateTransitionFeature(uint64_t before, uint64_t after);
+
+}  // namespace neat
+
+#endif  // NEAT_COVERAGE_H_

@@ -27,6 +27,11 @@ struct ExecutionResult {
   // Summary of the run's simulation trace (drops per link, leadership
   // timeline). Filled by the real executors; empty for synthetic ones.
   TraceReport trace_report;
+  // Behavioural coverage features of the run (neat/coverage.h), sorted and
+  // deduplicated. Guided campaigns admit a case to the corpus iff its
+  // features extend the campaign's coverage map; empty when the executor
+  // does not report coverage (guided mode then never grows a corpus).
+  std::vector<std::string> coverage;
 };
 
 // Runs one test case in a freshly built system under the given seed.

@@ -1,0 +1,185 @@
+#include "neat/mutate.h"
+
+#include <utility>
+
+namespace neat {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// The deterministic draw stream one mutation consumes.
+class Draw {
+ public:
+  explicit Draw(uint64_t seed) : state_(seed) {}
+  uint64_t Next() { return state_ = SplitMix64(state_); }
+  size_t Below(size_t n) { return n == 0 ? 0 : static_cast<size_t>(Next() % n); }
+
+ private:
+  uint64_t state_;
+};
+
+enum class Op {
+  kInsert,
+  kDelete,
+  kSwap,
+  kFlipPartition,
+  kFlipTarget,
+  kFlipSide,
+  kHealReorder,
+};
+constexpr int kOpCount = 7;
+
+bool IsClientEvent(const TestEvent& event) {
+  return event.kind != EventKind::kPartition && event.kind != EventKind::kHeal;
+}
+
+// Indices of events in `c` satisfying `pred`.
+template <typename Pred>
+std::vector<size_t> IndicesOf(const TestCase& c, Pred pred) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (pred(c[i])) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+// Picks a member of `choices` different from `current`; false when there
+// is no alternative.
+template <typename T>
+bool PickOther(const std::vector<T>& choices, T current, Draw* draw, T* out) {
+  std::vector<T> others;
+  for (const T& choice : choices) {
+    if (!(choice == current)) {
+      others.push_back(choice);
+    }
+  }
+  if (others.empty()) {
+    return false;
+  }
+  *out = others[draw->Below(others.size())];
+  return true;
+}
+
+}  // namespace
+
+Mutator::Mutator(const TestCaseGenerator::Alphabet& alphabet, int max_events)
+    : alphabet_(alphabet),
+      instances_(TestCaseGenerator(alphabet).Instances()),
+      max_events_(max_events < 1 ? 1 : max_events) {}
+
+uint64_t Mutator::MixSeed(uint64_t campaign_seed, uint64_t round, uint64_t corpus_index,
+                          uint64_t mutant_index) {
+  uint64_t x = SplitMix64(campaign_seed);
+  x = SplitMix64(x ^ round);
+  x = SplitMix64(x ^ corpus_index);
+  x = SplitMix64(x ^ mutant_index);
+  return x;
+}
+
+TestCase Mutator::Mutate(const TestCase& parent, uint64_t seed) const {
+  Draw draw(seed);
+  TestCase mutant = parent;
+
+  const auto apply = [&](Op op) -> bool {
+    switch (op) {
+      case Op::kInsert: {
+        if (instances_.empty() || mutant.size() >= static_cast<size_t>(max_events_)) {
+          return false;
+        }
+        const size_t pos = draw.Below(mutant.size() + 1);
+        mutant.insert(mutant.begin() + static_cast<std::ptrdiff_t>(pos),
+                      instances_[draw.Below(instances_.size())]);
+        return true;
+      }
+      case Op::kDelete: {
+        if (mutant.size() < 2) {
+          return false;
+        }
+        mutant.erase(mutant.begin() + static_cast<std::ptrdiff_t>(draw.Below(mutant.size())));
+        return true;
+      }
+      case Op::kSwap: {
+        if (mutant.size() < 2) {
+          return false;
+        }
+        const size_t i = draw.Below(mutant.size());
+        size_t j = draw.Below(mutant.size() - 1);
+        if (j >= i) {
+          ++j;
+        }
+        std::swap(mutant[i], mutant[j]);
+        return true;
+      }
+      case Op::kFlipPartition: {
+        const std::vector<size_t> partitions = IndicesOf(
+            mutant, [](const TestEvent& e) { return e.kind == EventKind::kPartition; });
+        if (partitions.empty()) {
+          return false;
+        }
+        TestEvent& event = mutant[partitions[draw.Below(partitions.size())]];
+        return PickOther(alphabet_.partitions, event.partition, &draw, &event.partition);
+      }
+      case Op::kFlipTarget: {
+        const std::vector<size_t> partitions = IndicesOf(
+            mutant, [](const TestEvent& e) { return e.kind == EventKind::kPartition; });
+        if (partitions.empty()) {
+          return false;
+        }
+        TestEvent& event = mutant[partitions[draw.Below(partitions.size())]];
+        return PickOther(alphabet_.targets, event.target, &draw, &event.target);
+      }
+      case Op::kFlipSide: {
+        const std::vector<size_t> clients = IndicesOf(mutant, IsClientEvent);
+        if (clients.empty()) {
+          return false;
+        }
+        TestEvent& event = mutant[clients[draw.Below(clients.size())]];
+        return PickOther(alphabet_.sides, event.side, &draw, &event.side);
+      }
+      case Op::kHealReorder: {
+        const std::vector<size_t> heals = IndicesOf(
+            mutant, [](const TestEvent& e) { return e.kind == EventKind::kHeal; });
+        if (heals.empty()) {
+          if (mutant.size() >= static_cast<size_t>(max_events_)) {
+            return false;
+          }
+          TestEvent heal;
+          heal.kind = EventKind::kHeal;
+          mutant.insert(mutant.begin() + static_cast<std::ptrdiff_t>(draw.Below(mutant.size() + 1)),
+                        heal);
+          return true;
+        }
+        const size_t from = heals[draw.Below(heals.size())];
+        const TestEvent heal = mutant[from];
+        mutant.erase(mutant.begin() + static_cast<std::ptrdiff_t>(from));
+        mutant.insert(mutant.begin() + static_cast<std::ptrdiff_t>(draw.Below(mutant.size() + 1)),
+                      heal);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Try the drawn operator first, rotating through the rest until one
+  // applies; the rotation keeps the function total without biasing which
+  // operator a given seed prefers.
+  const int start = static_cast<int>(draw.Below(kOpCount));
+  for (int k = 0; k < kOpCount; ++k) {
+    if (apply(static_cast<Op>((start + k) % kOpCount))) {
+      return mutant;
+    }
+  }
+  if (mutant.empty() && !instances_.empty()) {
+    mutant.push_back(instances_[draw.Below(instances_.size())]);
+  }
+  return mutant;
+}
+
+}  // namespace neat

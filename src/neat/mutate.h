@@ -1,0 +1,54 @@
+// Deterministic test-case mutation for coverage-guided campaigns.
+//
+// The guided loop (neat/campaign.h) evolves a corpus by mutating cases
+// that added coverage. Every mutation is a pure function of
+// (parent, seed): the Mutator holds only the immutable alphabet, and the
+// seed fully determines which operator fires and where. That purity is
+// what lets the campaign schedule mutants as a function of
+// (round, corpus index, mutant index, campaign seed) and stay
+// byte-identical at any NEAT_THREADS.
+//
+// Operators, in the spirit of the paper's event vocabulary:
+//   - insert a concrete alphabet event at a random position
+//   - delete an event
+//   - swap two events
+//   - flip a partition event's PartitionKind / IsolationTarget
+//   - flip a client event's Side
+//   - heal-reorder: move the heal elsewhere, or add one if absent
+//
+// Mutants deliberately escape the static pruning rules (a mutant may heal
+// first or read before writing) — the feedback loop, not the prune,
+// decides whether that behaviour earns corpus space.
+
+#ifndef NEAT_MUTATE_H_
+#define NEAT_MUTATE_H_
+
+#include <cstdint>
+
+#include "neat/testgen.h"
+
+namespace neat {
+
+class Mutator {
+ public:
+  // `max_events` bounds mutant length (inserts stop growing a case there).
+  Mutator(const TestCaseGenerator::Alphabet& alphabet, int max_events);
+
+  // Applies one operator to `parent`. Pure: same (parent, seed) in, same
+  // mutant out. Never returns an empty case.
+  TestCase Mutate(const TestCase& parent, uint64_t seed) const;
+
+  // Folds the guided loop's scheduling coordinates into a mutation seed
+  // (splitmix64-style, matching sim::Rng's seeding idiom).
+  static uint64_t MixSeed(uint64_t campaign_seed, uint64_t round, uint64_t corpus_index,
+                          uint64_t mutant_index);
+
+ private:
+  TestCaseGenerator::Alphabet alphabet_;
+  std::vector<TestEvent> instances_;  // every concrete event the alphabet allows
+  int max_events_;
+};
+
+}  // namespace neat
+
+#endif  // NEAT_MUTATE_H_

@@ -120,6 +120,29 @@ std::string JsonReport(const CampaignResult& result, const ReportContext& contex
   os << "    \"wall_seconds\": " << JsonSeconds(result.wall_seconds) << ",\n";
   os << "    \"verdict_digest\": " << JsonString(result.VerdictDigest()) << "\n";
   os << "  },\n";
+  os << "  \"coverage\": {\n";
+  os << "    \"unique_features\": " << result.coverage.unique_features() << ",\n";
+  os << "    \"total_hits\": " << result.coverage.total_hits() << ",\n";
+  os << "    \"digest\": " << JsonString(result.coverage.Digest()) << "\n";
+  os << "  },\n";
+  os << "  \"guided\": ";
+  if (!result.guided.enabled) {
+    os << "null,\n";
+  } else {
+    os << "{\n";
+    os << "    \"seed_cases\": " << result.guided.seed_cases << ",\n";
+    os << "    \"rounds_run\": " << result.guided.rounds_run << ",\n";
+    os << "    \"mutants_run\": " << result.guided.mutants_run << ",\n";
+    os << "    \"duplicates_skipped\": " << result.guided.duplicates_skipped << ",\n";
+    os << "    \"corpus_cases\": " << result.guided.corpus.size() << ",\n";
+    os << "    \"corpus_digest\": " << JsonString(result.CorpusDigest()) << ",\n";
+    os << "    \"new_features_per_round\": [";
+    for (size_t i = 0; i < result.guided.new_features_per_round.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << result.guided.new_features_per_round[i];
+    }
+    os << "]\n";
+    os << "  },\n";
+  }
   os << "  \"signatures\": [";
   size_t index = 0;
   for (const auto& [signature, count] : result.signature_counts) {
@@ -162,6 +185,24 @@ std::string MarkdownReport(const CampaignResult& result, const ReportContext& co
                 result.CasesPerSecond(), result.sweep_seconds, result.minimize_seconds,
                 result.wall_seconds);
   os << row;
+
+  os << "\n## Coverage\n\n";
+  os << "- **unique features:** " << result.coverage.unique_features() << ", **total hits:** "
+     << result.coverage.total_hits() << ", **digest:** `" << result.coverage.Digest()
+     << "`\n";
+  if (result.guided.enabled) {
+    os << "\n## Guided corpus\n\n";
+    os << "- **seed cases:** " << result.guided.seed_cases << ", **mutation rounds:** "
+       << result.guided.rounds_run << ", **mutants run:** " << result.guided.mutants_run
+       << ", **duplicates skipped:** " << result.guided.duplicates_skipped << "\n";
+    os << "- **corpus:** " << result.guided.corpus.size() << " case(s), digest `"
+       << result.CorpusDigest() << "`\n";
+    os << "- **new features per round:** ";
+    for (size_t i = 0; i < result.guided.new_features_per_round.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << result.guided.new_features_per_round[i];
+    }
+    os << " (round 0 is the seeding sweep)\n";
+  }
 
   os << "\n## Failure signatures\n\n";
   if (result.signature_counts.empty()) {

@@ -33,6 +33,10 @@ struct ReportContext {
 //     "campaign": { "cases_run", "failures", "first_failure_index",
 //                   "cases_per_second", "sweep_seconds", "minimize_seconds",
 //                   "wall_seconds", "verdict_digest" },
+//     "coverage": { "unique_features", "total_hits", "digest" },
+//     "guided": null | { "seed_cases", "rounds_run", "mutants_run",
+//                        "duplicates_skipped", "corpus_cases",
+//                        "corpus_digest", "new_features_per_round": [...] },
 //     "signatures": [ { "signature", "count",
 //                       "repro": { "seed", "original", "minimized",
 //                                  "original_events", "minimized_events",

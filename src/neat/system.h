@@ -12,6 +12,7 @@
 #ifndef NEAT_SYSTEM_H_
 #define NEAT_SYSTEM_H_
 
+#include <cstdint>
 #include <string>
 
 #include "neat/env.h"
@@ -34,6 +35,17 @@ class ISystem {
   // True while the system is able to make progress (e.g. has a leader able
   // to serve requests).
   virtual bool GetStatus() = 0;
+
+  // A digest of the system's externally observable control state right
+  // now. Executors sample it between test events; guided campaigns treat
+  // digest *transitions* as behavioural coverage (neat/coverage.h). The
+  // default digests GetStatus(); adapters override it with richer
+  // read-only state (leader identity, membership views). Overrides must
+  // not perturb the system — a probe that sends real operations would
+  // change what the run under test does.
+  virtual uint64_t StateDigest() {
+    return GetStatus() ? 0x9e3779b97f4a7c15ull : 0x94d049bb133111ebull;
+  }
 
   // Crashes every server node.
   virtual void Shutdown() = 0;

@@ -85,6 +85,8 @@ class TestCaseGenerator {
 
   explicit TestCaseGenerator(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
 
+  const Alphabet& alphabet() const { return alphabet_; }
+
   // Every sequence of exactly `length` events permitted by `rules`.
   std::vector<TestCase> Enumerate(int length, const PruningRules& rules) const;
 

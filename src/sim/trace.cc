@@ -1,5 +1,6 @@
 #include "sim/trace.h"
 
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -30,6 +31,18 @@ size_t TraceLog::CountEvent(const std::string& event) const {
     }
   }
   return n;
+}
+
+std::vector<std::pair<std::string, std::string>> TraceLog::EventBigrams() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::set<std::pair<std::string, std::string>> seen;
+  for (size_t i = 1; i < records_.size(); ++i) {
+    std::pair<std::string, std::string> bigram{records_[i - 1].event, records_[i].event};
+    if (seen.insert(bigram).second) {
+      out.push_back(std::move(bigram));
+    }
+  }
+  return out;
 }
 
 std::string TraceLog::Dump() const {

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
@@ -31,6 +32,13 @@ class TraceLog {
 
   // Counts records with the given event name.
   size_t CountEvent(const std::string& event) const;
+
+  // The distinct consecutive (event, event) name pairs, in order of first
+  // appearance. Guided campaigns use these as a behavioural coverage
+  // signal (neat/coverage.h): two runs that interleave drops, elections,
+  // and replication differently produce different bigram sets even when
+  // their per-event counts agree.
+  std::vector<std::pair<std::string, std::string>> EventBigrams() const;
 
   const std::vector<TraceRecord>& records() const { return records_; }
   size_t size() const { return records_.size(); }

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <random>
 #include <string>
+#include <vector>
 
 #include "check/checkers.h"
 #include "check/history.h"
@@ -333,6 +337,98 @@ TEST(Linearizability, KeysAreIndependent) {
   h.Record(MakeOp(2, OpType::kRead, "k1", "a", OpStatus::kOk, 20, 30));
   h.Record(MakeOp(2, OpType::kRead, "k2", "b", OpStatus::kOk, 20, 30));
   EXPECT_TRUE(CheckLinearizable(h).linearizable);
+}
+
+// --- differential check against a brute-force reference ---
+
+// The reference model, independent of the Wing & Gong search: a history is
+// linearizable iff SOME permutation of its operations (a) respects real-time
+// precedence — op A precedes op B whenever A.completed <= B.invoked, the
+// same tie rule CheckLinearizableKey uses — and (b) satisfies register
+// semantics from the initial value "".
+bool OrderRespectsRealTime(const std::vector<Operation>& ops, const std::vector<int>& order) {
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t j = i + 1; j < order.size(); ++j) {
+      // ops[order[j]] is linearized after ops[order[i]], which real time
+      // forbids when it completed at or before the earlier op's invocation.
+      if (ops[order[j]].completed <= ops[order[i]].invoked) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool OrderSatisfiesRegister(const std::vector<Operation>& ops, const std::vector<int>& order) {
+  std::string value;
+  for (const int index : order) {
+    const Operation& op = ops[index];
+    if (op.type == OpType::kWrite) {
+      value = op.value;
+    } else if (op.value != value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BruteForceLinearizable(const std::vector<Operation>& ops) {
+  std::vector<int> order(ops.size());
+  std::iota(order.begin(), order.end(), 0);
+  do {
+    if (OrderRespectsRealTime(ops, order) && OrderSatisfiesRegister(ops, order)) {
+      return true;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return false;
+}
+
+TEST(LinearizabilityDifferential, AgreesWithBruteForceOnRandomHistories) {
+  // 600 seeded random histories of <= 6 ok read/write ops on one key, with
+  // overlapping invocation windows and reads drawn from the written values
+  // plus the initial "". The optimized checker must agree with the
+  // permutation reference on every one, and the sample must exercise both
+  // verdict classes.
+  std::mt19937_64 rng(20260806u);
+  int linearizable = 0;
+  int violations = 0;
+  for (int iteration = 0; iteration < 600; ++iteration) {
+    const int n = 1 + static_cast<int>(rng() % 6);
+    History history;
+    std::vector<Operation> ops;
+    std::vector<std::string> values = {""};
+    int writes = 0;
+    for (int i = 0; i < n; ++i) {
+      Operation op;
+      op.client = 1 + static_cast<int>(rng() % 3);
+      op.key = "k";
+      op.status = OpStatus::kOk;
+      op.invoked = static_cast<sim::Time>(rng() % 16);
+      op.completed = op.invoked + static_cast<sim::Time>(rng() % 8);
+      if (rng() % 2 == 0) {
+        op.type = OpType::kWrite;
+        op.value = "w" + std::to_string(++writes);
+        values.push_back(op.value);
+      } else {
+        op.type = OpType::kRead;
+        op.value = values[rng() % values.size()];
+      }
+      history.Record(op);
+      ops.push_back(op);
+    }
+    const bool expected = BruteForceLinearizable(ops);
+    const LinearizabilityResult actual = CheckLinearizableKey(history, "k");
+    ASSERT_EQ(actual.linearizable, expected)
+        << "iteration " << iteration << "\n"
+        << history.Dump();
+    if (expected) {
+      ++linearizable;
+    } else {
+      ++violations;
+    }
+  }
+  EXPECT_GT(linearizable, 0) << "the sample never produced a linearizable history";
+  EXPECT_GT(violations, 0) << "the sample never produced a violation";
 }
 
 }  // namespace

@@ -282,6 +282,47 @@ TEST(CampaignMinimize, OffByDefaultAndPhaseTimingsAddUp) {
   EXPECT_GE(result.wall_seconds, result.sweep_seconds);
 }
 
+// --- the fixpoint property ---
+
+// Formats a shrink log for byte-level comparison.
+std::string FormatLog(const std::vector<ShrinkStep>& log) {
+  std::string out;
+  for (const ShrinkStep& step : log) {
+    out += step.phase + "|" + step.detail + "|" + std::to_string(step.events_after) + "|" +
+           std::to_string(step.probes_after) + "\n";
+  }
+  return out;
+}
+
+TEST(Minimize, MinimizationIsAFixpointOnThePbkvPaperSuite) {
+  // Property: minimization is idempotent. For every minimized repro the
+  // pbkv paper-suite campaign produces, feeding the minimized case back
+  // through MinimizeCase must return it byte-identical (a 1-minimal,
+  // partition-simplified case admits no further accepted shrink), and two
+  // such re-minimizations must agree on the shrink log byte for byte.
+  TestCaseGenerator gen{TestCaseGenerator::Alphabet{}};
+  const CaseExecutor executor = PbkvCaseExecutor(pbkv::VoltDbOptions());
+  CampaignOptions options;
+  options.threads = 8;
+  options.minimize_failures = true;
+  const CampaignResult result = RunCampaign(gen, 4, PaperPruning(), executor, options);
+  ASSERT_GT(result.failures, 0u);
+  ASSERT_FALSE(result.minimized.empty());
+  for (const MinimizedRepro& repro : result.minimized) {
+    ASSERT_TRUE(repro.reproduced) << repro.signature;
+    const MinimizedRepro again = MinimizeCase(repro.minimized, repro.seed, executor);
+    EXPECT_TRUE(again.reproduced) << repro.signature;
+    EXPECT_EQ(again.signature, repro.signature);
+    EXPECT_EQ(FormatTestCase(again.minimized), FormatTestCase(repro.minimized))
+        << "re-minimizing must be a no-op";
+    const MinimizedRepro twice = MinimizeCase(repro.minimized, repro.seed, executor);
+    EXPECT_EQ(FormatTestCase(twice.minimized), FormatTestCase(again.minimized));
+    EXPECT_EQ(FormatLog(twice.log), FormatLog(again.log))
+        << "the shrink log must be deterministic byte for byte";
+    EXPECT_EQ(twice.probes, again.probes);
+  }
+}
+
 // --- report artifacts ---
 
 TEST(Report, JsonAndMarkdownCarryTheRepros) {

@@ -7,11 +7,15 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "neat/adapters.h"
 #include "neat/campaign.h"
+#include "neat/coverage.h"
 #include "neat/env.h"
+#include "neat/mutate.h"
 #include "neat/testgen.h"
 #include "neat/trace_report.h"
 
@@ -649,6 +653,263 @@ TEST(TraceReport, NarratesARealFailureRun) {
   EXPECT_GT(report.drops_per_link.size(), 0u) << "the partition dropped traffic";
   EXPECT_GE(report.event_counts.at("elected"), 1u) << "the majority elected a new leader";
   EXPECT_GE(report.event_counts.at("step-down"), 1u) << "the old leader stepped down";
+}
+
+TEST(Executor, RaftKvSuiteExposesTheMembershipDataLoss) {
+  // The RethinkDB-like flaw (#5289): a partial partition plus the
+  // fault-model membership change loses acknowledged writes. The
+  // paper-pruned suite through the campaign runner must expose it, and the
+  // corrected configuration must survive the identical sweep.
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  CampaignOptions options;
+  options.threads = 8;
+  options.seeds = 3;
+  const CampaignResult flawed = RunCampaign(
+      gen, 3, PaperPruning(), RaftKvCaseExecutor(raftkv::RethinkDbOptions()), options);
+  EXPECT_GT(flawed.failures, 0u);
+  bool has_loss = false;
+  for (const auto& [signature, count] : flawed.signature_counts) {
+    if (signature.find("data loss") != std::string::npos ||
+        signature.find("non-linearizable") != std::string::npos) {
+      has_loss = true;
+    }
+  }
+  EXPECT_TRUE(has_loss) << "expected a data-loss / non-linearizable signature";
+  const CampaignResult correct = RunCampaign(
+      gen, 3, PaperPruning(), RaftKvCaseExecutor(raftkv::CorrectOptions()), options);
+  EXPECT_EQ(correct.failures, 0u)
+      << "corrected raftkv failed: " << (correct.signature_counts.empty()
+                                             ? std::string("?")
+                                             : correct.signature_counts.begin()->first);
+}
+
+TEST(Executor, MqueueSuiteExposesTheDoubleDequeue) {
+  // The ActiveMQ-like flaw (AMQ-6978): both sides of the cut dequeue the
+  // pre-seeded replicated message. Judged by the double-dequeue checker
+  // over the paper-pruned suite; the corrected broker must stay clean.
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  CampaignOptions options;
+  options.threads = 8;
+  options.seeds = 3;
+  const CampaignResult flawed = RunCampaign(
+      gen, 3, PaperPruning(), MqueueCaseExecutor(mqueue::ActiveMqOptions()), options);
+  EXPECT_GT(flawed.failures, 0u);
+  EXPECT_TRUE(flawed.signature_counts.count("double dequeue"))
+      << "expected the AMQ-6978 double-dequeue signature";
+  const CampaignResult correct = RunCampaign(
+      gen, 3, PaperPruning(), MqueueCaseExecutor(mqueue::CorrectOptions()), options);
+  EXPECT_EQ(correct.failures, 0u)
+      << "corrected mqueue failed: " << (correct.signature_counts.empty()
+                                             ? std::string("?")
+                                             : correct.signature_counts.begin()->first);
+}
+
+// --- coverage (guided campaigns) ---
+
+TEST(Coverage, AdmissionSignalCountsOnlyUnseenFeatures) {
+  CoverageMap map;
+  EXPECT_EQ(map.Add({"a", "b", "a"}), 2u);
+  EXPECT_EQ(map.Add({"a", "c"}), 1u);
+  EXPECT_EQ(map.Add({"a", "b"}), 0u);
+  EXPECT_EQ(map.unique_features(), 3u);
+  EXPECT_EQ(map.total_hits(), 7u);
+  EXPECT_TRUE(map.Covers("c"));
+  EXPECT_FALSE(map.Covers("d"));
+  EXPECT_EQ(map.counters().at("a"), 4u);
+}
+
+TEST(Coverage, DigestDependsOnCountsNotInsertionOrder) {
+  CoverageMap a;
+  a.Add({"x"});
+  a.Add({"y", "z"});
+  CoverageMap b;
+  b.Add({"z", "y"});
+  b.Add({"x"});
+  EXPECT_EQ(a.Digest(), b.Digest());
+  CoverageMap merged;
+  merged.MergeFrom(a);
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.unique_features(), 3u);
+  EXPECT_EQ(merged.total_hits(), a.total_hits() + b.total_hits());
+  EXPECT_NE(merged.Digest(), a.Digest()) << "doubled counts must change the digest";
+}
+
+TEST(Coverage, TraceCoverageExtractsBigramsAndPhaseEdges) {
+  sim::TraceLog log;
+  log.Append(sim::Milliseconds(1), "pbkv.n1", "elected", "term=1");
+  log.Append(sim::Milliseconds(2), "neat", "partition", "complete");
+  log.Append(sim::Milliseconds(3), "net", "drop", "1->2 pbkv.Replicate (partitioned at send)");
+  log.Append(sim::Milliseconds(4), "neat", "heal", "");
+  log.Append(sim::Milliseconds(5), "pbkv.n2", "elected", "term=2");
+  const std::vector<std::string> features = TraceCoverage(log);
+  EXPECT_TRUE(std::is_sorted(features.begin(), features.end()));
+  const auto has = [&features](const std::string& feature) {
+    return std::find(features.begin(), features.end(), feature) != features.end();
+  };
+  EXPECT_TRUE(has("ph:b:elected")) << "system event before the partition";
+  EXPECT_TRUE(has("ph:p:pbkv.Replicate")) << "message type dropped during the partition";
+  EXPECT_TRUE(has("ph:h:elected")) << "system event after the heal";
+  EXPECT_TRUE(has("bi:elected>partition")) << "trace bigram across the phase marker";
+  EXPECT_FALSE(has("ph:p:partition")) << "the neat markers are phase edges, not features";
+}
+
+TEST(Coverage, StateTransitionFeatureIsFixedWidthHex) {
+  EXPECT_EQ(StateTransitionFeature(0, 15), "sd:0000000000000000>000000000000000f");
+  EXPECT_NE(StateTransitionFeature(1, 2), StateTransitionFeature(2, 1));
+}
+
+TEST(Coverage, RealExecutorRunsReportCoverageFeatures) {
+  const auto result = RunPbkvTestCase(pbkv::VoltDbOptions(), DirtyReadCase(), /*seed=*/1);
+  ASSERT_FALSE(result.coverage.empty());
+  bool has_bigram = false;
+  bool has_phase = false;
+  for (const std::string& feature : result.coverage) {
+    has_bigram = has_bigram || feature.rfind("bi:", 0) == 0;
+    has_phase = has_phase || feature.rfind("ph:", 0) == 0;
+  }
+  EXPECT_TRUE(has_bigram);
+  EXPECT_TRUE(has_phase);
+  EXPECT_TRUE(std::is_sorted(result.coverage.begin(), result.coverage.end()));
+}
+
+// --- mutation (guided campaigns) ---
+
+TEST(Mutate, MutationIsAPureFunctionOfParentAndSeed) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const Mutator mutator(alphabet, 5);
+  const auto suite = gen.EnumerateUpTo(3, PaperPruning());
+  ASSERT_FALSE(suite.empty());
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    const TestCase& parent = suite[seed % suite.size()];
+    const TestCase first = mutator.Mutate(parent, seed);
+    const TestCase second = mutator.Mutate(parent, seed);
+    EXPECT_EQ(first, second) << "seed " << seed;
+    EXPECT_FALSE(first.empty());
+    EXPECT_LE(first.size(), 5u) << "max_events bounds mutant length";
+  }
+}
+
+TEST(Mutate, DifferentSeedsExploreDifferentMutants) {
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const Mutator mutator(alphabet, 5);
+  const TestCase parent = gen.EnumerateUpTo(3, PaperPruning()).back();
+  std::set<std::string> mutants;
+  size_t changed = 0;
+  for (uint64_t seed = 1; seed <= 128; ++seed) {
+    const TestCase mutant = mutator.Mutate(parent, seed);
+    mutants.insert(FormatTestCase(mutant));
+    if (mutant != parent) {
+      ++changed;
+    }
+  }
+  EXPECT_GT(mutants.size(), 8u) << "the operator set must actually diversify";
+  EXPECT_GT(changed, 100u) << "nearly every seed should produce a real mutation";
+}
+
+TEST(Mutate, MixSeedSeparatesSchedulingCoordinates) {
+  EXPECT_EQ(Mutator::MixSeed(1, 2, 3, 4), Mutator::MixSeed(1, 2, 3, 4));
+  std::set<uint64_t> seeds;
+  for (uint64_t campaign = 1; campaign <= 2; ++campaign) {
+    for (uint64_t round = 0; round < 4; ++round) {
+      for (uint64_t index = 0; index < 4; ++index) {
+        for (uint64_t mutant = 0; mutant < 4; ++mutant) {
+          seeds.insert(Mutator::MixSeed(campaign, round, index, mutant));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 2u * 4u * 4u * 4u) << "coordinates must not collide";
+}
+
+// --- guided campaigns ---
+
+TEST(Guided, CampaignIsByteIdenticalAcrossThreadCountsAndRuns) {
+  // The determinism acceptance bar: guided campaigns must produce the same
+  // verdicts, the same coverage map, and the same corpus at NEAT_THREADS=1
+  // and 8, and stay stable across repeated runs with the same seeds.
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const CaseExecutor executor = PbkvCaseExecutor(pbkv::VoltDbOptions());
+  CampaignOptions base;
+  base.guided = true;
+  base.guided_rounds = 3;
+  base.seeds = 2;
+  CampaignOptions serial = base;
+  serial.threads = 1;
+  CampaignOptions parallel = base;
+  parallel.threads = 8;
+  const CampaignResult one = RunCampaign(gen, 3, PaperPruning(), executor, serial);
+  const CampaignResult eight = RunCampaign(gen, 3, PaperPruning(), executor, parallel);
+  const CampaignResult again = RunCampaign(gen, 3, PaperPruning(), executor, parallel);
+  ASSERT_GT(one.cases_run, 0u);
+  EXPECT_TRUE(one.guided.enabled);
+  EXPECT_EQ(eight.cases_run, one.cases_run);
+  EXPECT_EQ(eight.VerdictDigest(), one.VerdictDigest());
+  EXPECT_EQ(eight.coverage.Digest(), one.coverage.Digest());
+  EXPECT_EQ(eight.CorpusDigest(), one.CorpusDigest());
+  EXPECT_EQ(eight.guided.seed_cases, one.guided.seed_cases);
+  EXPECT_EQ(eight.guided.mutants_run, one.guided.mutants_run);
+  EXPECT_EQ(eight.guided.duplicates_skipped, one.guided.duplicates_skipped);
+  EXPECT_EQ(eight.guided.new_features_per_round, one.guided.new_features_per_round);
+  EXPECT_EQ(again.VerdictDigest(), eight.VerdictDigest());
+  EXPECT_EQ(again.coverage.Digest(), eight.coverage.Digest());
+  EXPECT_EQ(again.CorpusDigest(), eight.CorpusDigest());
+}
+
+TEST(Guided, HalfBudgetFindsEveryExhaustiveSignature) {
+  // The yield acceptance bar: capped at HALF the exhaustive run count, the
+  // guided loop must still reach every unique failure signature the full
+  // paper-pruned enumeration finds — on both seeded-flaw suites.
+  struct Suite {
+    const char* name;
+    TestCaseGenerator generator;
+    CaseExecutor executor;
+  };
+  TestCaseGenerator::Alphabet kv_alphabet;
+  TestCaseGenerator::Alphabet lock_alphabet;
+  lock_alphabet.client_events = {EventKind::kLock, EventKind::kUnlock};
+  std::vector<Suite> suites;
+  suites.push_back({"pbkv", TestCaseGenerator(kv_alphabet),
+                    PbkvCaseExecutor(pbkv::VoltDbOptions())});
+  suites.push_back({"locksvc", TestCaseGenerator(lock_alphabet),
+                    LocksvcCaseExecutor(locksvc::IgniteOptions())});
+  CampaignOptions options;
+  options.threads = 8;
+  for (Suite& suite : suites) {
+    CampaignOptions exhaustive_options = options;
+    const CampaignResult exhaustive = RunCampaign(suite.generator, 3, PaperPruning(),
+                                                  suite.executor, exhaustive_options);
+    ASSERT_GT(exhaustive.failures, 0u) << suite.name;
+    CampaignOptions guided_options = options;
+    guided_options.guided = true;
+    guided_options.guided_max_cases = exhaustive.cases_run / 2;
+    const CampaignResult guided = RunCampaign(suite.generator, 3, PaperPruning(),
+                                              suite.executor, guided_options);
+    EXPECT_LE(guided.cases_run, exhaustive.cases_run / 2) << suite.name;
+    for (const auto& [signature, count] : exhaustive.signature_counts) {
+      EXPECT_TRUE(guided.signature_counts.count(signature))
+          << suite.name << ": guided missed \"" << signature << "\" in "
+          << guided.cases_run << " runs";
+    }
+  }
+}
+
+TEST(Guided, EnvKnobsControlRoundsAndCorpus) {
+  ASSERT_EQ(setenv("NEAT_GUIDED_ROUNDS", "5", 1), 0);
+  ASSERT_EQ(setenv("NEAT_CORPUS_MAX", "64", 1), 0);
+  CampaignOptions options = CampaignOptionsFromEnv();
+  EXPECT_EQ(options.guided_rounds, 5);
+  EXPECT_EQ(options.corpus_max, 64);
+  EXPECT_FALSE(options.guided) << "the knobs tune the loop; --guided opts in";
+  ASSERT_EQ(unsetenv("NEAT_GUIDED_ROUNDS"), 0);
+  ASSERT_EQ(unsetenv("NEAT_CORPUS_MAX"), 0);
+  options = CampaignOptionsFromEnv();
+  EXPECT_EQ(options.guided_rounds, 8);
+  EXPECT_EQ(options.corpus_max, 128);
 }
 
 TEST(Adapters, EverySystemReportsHealthyAtSteadyState) {

@@ -238,6 +238,27 @@ TEST(TraceTest, DisabledLogRecordsNothing) {
   EXPECT_EQ(log.size(), 0u);
 }
 
+TEST(TraceTest, EventBigramsAreDistinctConsecutivePairsInFirstAppearanceOrder) {
+  TraceLog log;
+  log.Append(1, "a", "send");
+  log.Append(2, "b", "drop");
+  log.Append(3, "c", "send");
+  log.Append(4, "d", "drop");   // send>drop again: deduplicated
+  log.Append(5, "e", "elect");  // drop>elect: new
+  const auto bigrams = log.EventBigrams();
+  ASSERT_EQ(bigrams.size(), 3u);
+  EXPECT_EQ(bigrams[0], (std::pair<std::string, std::string>{"send", "drop"}));
+  EXPECT_EQ(bigrams[1], (std::pair<std::string, std::string>{"drop", "send"}));
+  EXPECT_EQ(bigrams[2], (std::pair<std::string, std::string>{"drop", "elect"}));
+}
+
+TEST(TraceTest, EventBigramsOfShortLogsAreEmpty) {
+  TraceLog log;
+  EXPECT_TRUE(log.EventBigrams().empty());
+  log.Append(1, "a", "send");
+  EXPECT_TRUE(log.EventBigrams().empty());
+}
+
 TEST(TraceTest, DumpContainsRecords) {
   TraceLog log;
   log.Append(Milliseconds(1), "pbkv.n1", "elected", "term=2");
