@@ -21,6 +21,10 @@
 
 namespace cluster {
 
+// detlint: allow(unhandled-message): heartbeats are consumed generically —
+// every server treats *any* message from a member as liveness evidence
+// (FailureDetector::RecordHeartbeat at the top of OnMessage), so there is
+// deliberately no per-type dispatch case for them.
 struct HeartbeatMsg : public net::Message {
   explicit HeartbeatMsg(uint64_t incarnation_in = 0) : incarnation(incarnation_in) {}
   std::string TypeName() const override { return "Heartbeat"; }

@@ -35,13 +35,13 @@ bool LocksvcSystem::GetStatus() {
   return cluster_.Unlock(0, resource).status == check::OpStatus::kOk;
 }
 
-uint64_t PbkvSystem::StateDigest() {
+uint64_t PbkvSystem::StateDigest() const {
   StateHash hash;
   hash.Mix(static_cast<uint64_t>(cluster_.FindPrimary()));
   return hash.value();
 }
 
-uint64_t RaftKvSystem::StateDigest() {
+uint64_t RaftKvSystem::StateDigest() const {
   StateHash hash;
   for (const net::NodeId leader : cluster_.Leaders()) {
     hash.Mix(static_cast<uint64_t>(leader));
@@ -49,7 +49,7 @@ uint64_t RaftKvSystem::StateDigest() {
   return hash.value();
 }
 
-uint64_t LocksvcSystem::StateDigest() {
+uint64_t LocksvcSystem::StateDigest() const {
   StateHash hash;
   for (const net::NodeId id : cluster_.server_ids()) {
     hash.Mix(static_cast<uint64_t>(id));
@@ -60,7 +60,7 @@ uint64_t LocksvcSystem::StateDigest() {
   return hash.value();
 }
 
-uint64_t MqueueSystem::StateDigest() {
+uint64_t MqueueSystem::StateDigest() const {
   StateHash hash;
   hash.Mix(static_cast<uint64_t>(cluster_.MasterPerRegistry()));
   for (const net::NodeId master : cluster_.SelfBelievedMasters()) {

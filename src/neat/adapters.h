@@ -31,7 +31,7 @@ class PbkvSystem : public ISystem {
   TestEnv& Env() override { return cluster_.env(); }
   net::Group Servers() const override { return cluster_.server_ids(); }
   bool GetStatus() override { return cluster_.FindPrimary() != net::kInvalidNode; }
-  uint64_t StateDigest() override;  // who is primary
+  uint64_t StateDigest() const override;  // who is primary
   void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
   pbkv::Cluster& cluster() { return cluster_; }
 
@@ -46,7 +46,7 @@ class RaftKvSystem : public ISystem {
   TestEnv& Env() override { return cluster_.env(); }
   net::Group Servers() const override { return cluster_.server_ids(); }
   bool GetStatus() override { return !cluster_.Leaders().empty(); }
-  uint64_t StateDigest() override;  // the set of self-believed leaders
+  uint64_t StateDigest() const override;  // the set of self-believed leaders
   void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
   raftkv::Cluster& cluster() { return cluster_; }
 
@@ -64,7 +64,7 @@ class LocksvcSystem : public ISystem {
   // Per-server membership views. GetStatus() probes with a real lock
   // round-trip and would perturb the run, so the digest reads the views
   // directly instead.
-  uint64_t StateDigest() override;
+  uint64_t StateDigest() const override;
   void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
   locksvc::Cluster& cluster() { return cluster_; }
 
@@ -81,7 +81,7 @@ class MqueueSystem : public ISystem {
   TestEnv& Env() override { return cluster_.env(); }
   net::Group Servers() const override { return cluster_.broker_ids(); }
   bool GetStatus() override { return cluster_.MasterPerRegistry() != net::kInvalidNode; }
-  uint64_t StateDigest() override;  // registry master + self-believed masters
+  uint64_t StateDigest() const override;  // registry master + self-believed masters
   void Shutdown() override { cluster_.env().Crash(cluster_.broker_ids()); }
   mqueue::Cluster& cluster() { return cluster_; }
 
@@ -96,6 +96,12 @@ class SchedSystem : public ISystem {
   TestEnv& Env() override { return cluster_.env(); }
   net::Group Servers() const override { return cluster_.worker_ids(); }
   bool GetStatus() override { return !cluster_.rm().crashed(); }
+  // Mirrors the ISystem default's healthy/unhealthy constants (keyed off
+  // the same resource-manager liveness GetStatus reports) so existing sd:
+  // coverage features are unchanged, but through a const read-only probe.
+  uint64_t StateDigest() const override {
+    return !cluster_.rm().crashed() ? 0x9e3779b97f4a7c15ull : 0x94d049bb133111ebull;
+  }
   void Shutdown() override;
   sched::Cluster& cluster() { return cluster_; }
 

@@ -15,6 +15,9 @@
 namespace neat {
 namespace {
 
+// detlint: allow(wall-clock): campaign phase timing is wall-clock reporting
+// for humans (sweep/minimize seconds in reports); it never feeds a verdict,
+// trace, or digest, so replay determinism is unaffected.
 using Clock = std::chrono::steady_clock;
 
 // Streaming campaigns pre-count the suite for progress totals only while

@@ -38,14 +38,14 @@ class ISystem {
 
   // A digest of the system's externally observable control state right
   // now. Executors sample it between test events; guided campaigns treat
-  // digest *transitions* as behavioural coverage (neat/coverage.h). The
-  // default digests GetStatus(); adapters override it with richer
-  // read-only state (leader identity, membership views). Overrides must
-  // not perturb the system — a probe that sends real operations would
-  // change what the run under test does.
-  virtual uint64_t StateDigest() {
-    return GetStatus() ? 0x9e3779b97f4a7c15ull : 0x94d049bb133111ebull;
-  }
+  // digest *transitions* as behavioural coverage (neat/coverage.h).
+  // Adapters override it with read-only state (leader identity, membership
+  // views). The method is const by contract — a digest probe must not
+  // perturb the system (a probe that sends real operations would change
+  // what the run under test does; detlint's digest-nonconst rule enforces
+  // this). The default reports a fixed "no view" value, contributing no
+  // sd: coverage; every shipped adapter overrides it.
+  virtual uint64_t StateDigest() const { return 0x9e3779b97f4a7c15ull; }
 
   // Crashes every server node.
   virtual void Shutdown() = 0;

@@ -41,6 +41,16 @@ Server& Cluster::server(net::NodeId id) {
   return *servers_.front();
 }
 
+const Server& Cluster::server(net::NodeId id) const {
+  for (const auto& server : servers_) {
+    if (server->id() == id) {
+      return *server;
+    }
+  }
+  assert(false && "unknown server id");
+  return *servers_.front();
+}
+
 check::Operation Cluster::RunToCompletion(Client& c) {
   env_.simulator().RunUntilPredicate([&c]() { return c.idle(); },
                                env_.simulator().Now() + sim::Seconds(5));

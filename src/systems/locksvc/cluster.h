@@ -33,6 +33,8 @@ class Cluster {
   neat::TestEnv& env() { return env_; }
   const std::vector<net::NodeId>& server_ids() const { return server_ids_; }
   Server& server(net::NodeId id);
+  // Read-only lookup for const probes (e.g. LocksvcSystem::StateDigest).
+  const Server& server(net::NodeId id) const;
   Client& client(int index) { return *clients_.at(static_cast<size_t>(index)); }
 
   void Settle(sim::Duration duration) { env_.Sleep(duration); }

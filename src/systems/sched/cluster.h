@@ -36,6 +36,7 @@ class Cluster {
   const std::vector<net::NodeId>& worker_ids() const { return worker_ids_; }
 
   ResourceManager& rm() { return *rm_; }
+  const ResourceManager& rm() const { return *rm_; }
   OutputStore& store() { return *store_; }
   Worker& worker(net::NodeId id);
   Client& client(int index) { return *clients_.at(static_cast<size_t>(index)); }

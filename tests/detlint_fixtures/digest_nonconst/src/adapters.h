@@ -1,0 +1,20 @@
+// Fixture: digest-nonconst. A state digest is a read-only probe; a
+// non-const override can perturb the very run it observes.
+#include <cstdint>
+
+namespace systems {
+
+class BadAdapter {
+ public:
+  uint64_t StateDigest() { return ++probes_; }
+
+ private:
+  uint64_t probes_ = 0;
+};
+
+class GoodAdapter {
+ public:
+  uint64_t StateDigest() const { return 7; }
+};
+
+}  // namespace systems

@@ -1,0 +1,6 @@
+// Fixture: env-read. Any file other than neat/campaign.cc is flagged.
+#include <cstdlib>
+
+const char* Sneaky() {
+  return getenv("HOME");
+}

@@ -1,0 +1,8 @@
+// Fixture: env-read exemption. neat/campaign.cc is the one sanctioned
+// environment surface (the NEAT_* campaign knobs), so this read is clean.
+#include <cstdlib>
+
+int Threads() {
+  const char* value = getenv("NEAT_THREADS");
+  return value != nullptr ? 1 : 0;
+}

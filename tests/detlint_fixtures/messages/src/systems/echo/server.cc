@@ -1,0 +1,12 @@
+// Fixture: the dispatch site that marks PingMsg handled tree-wide.
+#include "systems/echo/messages.h"
+
+namespace echo {
+
+void OnMessage(const net::Envelope& envelope) {
+  if (const auto* ping = dynamic_cast<const PingMsg*>(envelope.msg)) {
+    (void)ping;
+  }
+}
+
+}  // namespace echo

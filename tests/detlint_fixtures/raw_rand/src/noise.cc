@@ -1,0 +1,8 @@
+// Fixture: raw-rand. Both constructs must route through sim::Rng substreams.
+#include <cstdlib>
+#include <random>
+
+int Noise() {
+  std::random_device seed_source;
+  return rand() + static_cast<int>(seed_source());
+}

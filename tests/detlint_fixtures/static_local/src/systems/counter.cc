@@ -1,0 +1,15 @@
+// Fixture: static-local. A mutable function-local static leaks state across
+// runs and campaign workers; immutable ones are fine.
+namespace systems {
+
+int NextId() {
+  static int counter = 0;
+  return ++counter;
+}
+
+int TableSize() {
+  static const int kSize = 64;
+  return kSize;
+}
+
+}  // namespace systems

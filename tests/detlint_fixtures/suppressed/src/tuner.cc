@@ -1,0 +1,20 @@
+// Fixture: suppression handling. A trailing allow() covers its own line; an
+// allow() on a comment line covers the next code line; an allow() without a
+// reason is itself a bad-suppression finding and silences nothing.
+#include <cstdlib>
+
+namespace neat {
+
+int Jitter() {
+  return rand();  // detlint: allow(raw-rand): fixture for trailing same-line allow
+}
+
+// detlint: allow(raw-rand): fixture for a comment-line allow covering the next line
+int Jitter2() { return rand(); }
+
+int Jitter3() {
+  // detlint: allow(raw-rand)
+  return rand();
+}
+
+}  // namespace neat

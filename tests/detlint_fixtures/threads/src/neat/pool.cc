@@ -1,0 +1,12 @@
+// Fixture: thread-primitive scope. The campaign layer (src/neat) may manage
+// worker threads, so the same constructs are clean here.
+#include <thread>
+
+namespace neat {
+
+void Spawn() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace neat

@@ -1,0 +1,13 @@
+// Fixture: thread-primitive. Model systems are single-threaded by contract.
+#include <mutex>
+#include <thread>
+
+namespace systems {
+
+void Work() {
+  std::mutex lock;
+  std::thread runner([] {});
+  runner.join();
+}
+
+}  // namespace systems

@@ -1,0 +1,33 @@
+// Fixture: unordered-iteration. Hash-order iteration is flagged only in
+// functions that feed a trace or digest; Size() iterates the same container
+// without a sink and stays clean.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace systems {
+
+class Store {
+ public:
+  uint64_t StateDigest() const {
+    uint64_t digest = 1469598103934665603ull;
+    for (const auto& entry : table_) {
+      digest ^= entry.second;
+    }
+    return digest;
+  }
+
+  int Size() const {
+    int count = 0;
+    for (const auto& entry : table_) {
+      (void)entry;
+      ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::unordered_map<std::string, uint64_t> table_;
+};
+
+}  // namespace systems

@@ -1,0 +1,10 @@
+// Fixture: wall-clock. Also reused by the CI gate's negative check: the
+// detlint job runs the binary against this tree and requires a nonzero exit.
+#include <chrono>
+#include <ctime>
+
+long Stamp() {
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  return time(nullptr);
+}

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "neat/adapters.h"
@@ -943,6 +945,64 @@ TEST(Adapters, EverySystemReportsHealthyAtSteadyState) {
     system.Shutdown();
     EXPECT_FALSE(system.GetStatus());
   }
+}
+
+// --- digest stability across hash/iteration orders --------------------------
+//
+// Regression pins for the determinism contract detlint's unordered-iteration
+// rule enforces: no digest or coverage artifact may depend on hash-table
+// iteration order, because libstdc++ is free to reorder buckets across
+// versions and hash implementations. FlippedHash interposes a different
+// hash the way a toolchain change silently would.
+
+struct FlippedHash {
+  size_t operator()(uint64_t value) const {
+    return static_cast<size_t>(~value * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+TEST(DigestStability, CoverageDigestIndependentOfInsertionOrder) {
+  std::vector<std::string> features;
+  for (int i = 0; i < 64; ++i) {
+    features.push_back(StateTransitionFeature(static_cast<uint64_t>(i) * 7,
+                                              static_cast<uint64_t>(i)));
+  }
+  CoverageMap forward;
+  forward.Add(features);
+  std::vector<std::string> reversed(features.rbegin(), features.rend());
+  CoverageMap backward;
+  backward.Add(reversed);
+  EXPECT_EQ(forward.Digest(), backward.Digest());
+}
+
+TEST(DigestStability, SortedFeaturePipelineNeutralizesHashOrder) {
+  // Build the same digest set in two unordered containers with different
+  // hashes; their raw iteration orders genuinely differ (the hazard).
+  std::vector<uint64_t> digests;
+  for (uint64_t i = 1; i <= 64; ++i) {
+    digests.push_back(i * 0x94d049bb133111ebull);
+  }
+  std::unordered_set<uint64_t> default_hash(digests.begin(), digests.end());
+  std::unordered_set<uint64_t, FlippedHash> flipped_hash(digests.begin(), digests.end());
+  std::vector<uint64_t> order_a(default_hash.begin(), default_hash.end());
+  std::vector<uint64_t> order_b(flipped_hash.begin(), flipped_hash.end());
+  ASSERT_NE(order_a, order_b);
+
+  // The executors' feature pipeline (StateObserver::Finish) sorts and
+  // deduplicates before anything reaches a CoverageMap, so the two
+  // traversal orders must produce byte-identical coverage digests.
+  auto pipeline = [](const std::vector<uint64_t>& order) {
+    std::vector<std::string> features;
+    for (uint64_t digest : order) {
+      features.push_back(StateTransitionFeature(0, digest));
+    }
+    std::sort(features.begin(), features.end());
+    features.erase(std::unique(features.begin(), features.end()), features.end());
+    CoverageMap map;
+    map.Add(features);
+    return map.Digest();
+  };
+  EXPECT_EQ(pipeline(order_a), pipeline(order_b));
 }
 
 }  // namespace

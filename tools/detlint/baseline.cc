@@ -1,0 +1,51 @@
+// Baseline files grandfather pre-existing findings: one
+// "rule<TAB>file<TAB>subject" line per tolerated finding. Keys are
+// line-number independent, so unrelated edits to a file do not invalidate
+// its baseline entries. `detlint --fix-baseline` regenerates the file from
+// the current findings.
+
+#include "detlint.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace detlint {
+
+std::string BaselineKey(const Finding& finding) {
+  return finding.rule + "\t" + finding.file + "\t" + finding.subject;
+}
+
+std::multimap<std::string, int> ParseBaseline(const std::string& contents) {
+  std::multimap<std::string, int> baseline;
+  std::istringstream stream(contents);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    baseline.emplace(line, 1);
+  }
+  return baseline;
+}
+
+std::string RenderBaseline(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& finding : findings) {
+    keys.push_back(BaselineKey(finding));
+  }
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream out;
+  out << "# detlint baseline: grandfathered findings, one rule<TAB>file<TAB>subject\n"
+      << "# per line. Regenerate with `detlint --fix-baseline`; shrink it by\n"
+      << "# fixing findings, never grow it by hand.\n";
+  for (const std::string& key : keys) {
+    out << key << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace detlint

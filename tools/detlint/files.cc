@@ -1,0 +1,80 @@
+// Filesystem driver: collects the C++ sources under the requested paths
+// and loads them with root-relative, forward-slash paths so reports and
+// baselines are stable regardless of where the tool runs from.
+
+#include "detlint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace detlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceExtension(const fs::path& path) {
+  static const char* kExtensions[] = {".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx"};
+  const std::string ext = path.extension().string();
+  for (const char* candidate : kExtensions) {
+    if (ext == candidate) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string RelativeTo(const fs::path& root, const fs::path& path) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty()) {
+    rel = path;
+  }
+  return rel.generic_string();
+}
+
+}  // namespace
+
+std::vector<std::string> CollectFiles(const std::string& root,
+                                      const std::vector<std::string>& paths) {
+  const fs::path root_path(root);
+  std::vector<std::string> files;
+  for (const std::string& raw : paths) {
+    fs::path path(raw);
+    if (path.is_relative()) {
+      path = root_path / path;
+    }
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end; !ec && it != end;
+           it.increment(ec)) {
+        if (it->is_regular_file() && IsSourceExtension(it->path())) {
+          files.push_back(RelativeTo(root_path, it->path()));
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(RelativeTo(root_path, path));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+bool LoadSourceFile(const std::string& root, const std::string& rel_path, SourceFile* out) {
+  fs::path path(rel_path);
+  if (path.is_relative()) {
+    path = fs::path(root) / path;
+  }
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    return false;
+  }
+  std::ostringstream contents;
+  contents << stream.rdbuf();
+  *out = MakeSourceFile(rel_path, contents.str());
+  return true;
+}
+
+}  // namespace detlint

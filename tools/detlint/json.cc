@@ -1,0 +1,100 @@
+// The machine-readable report: a stable, SARIF-like JSON document
+// ("detlint-findings-v1"). Findings are pre-sorted by Analyze(), so equal
+// trees produce byte-identical reports — CI archives them as artifacts and
+// schema-validates the keys.
+
+#include "detlint.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace detlint {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::ostringstream out;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderJson(const AnalysisResult& result) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"detlint-findings-v1\",\n";
+  out << "  \"tool\": {\"name\": \"detlint\", \"version\": \"1.0\"},\n";
+  out << "  \"summary\": {\n";
+  out << "    \"files_scanned\": " << result.files_scanned << ",\n";
+  out << "    \"total\": " << result.findings.size() << ",\n";
+  out << "    \"new\": " << result.NewCount() << ",\n";
+  out << "    \"baselined\": " << (result.findings.size() - static_cast<size_t>(result.NewCount()))
+      << ",\n";
+  out << "    \"suppressed\": " << result.suppressed << "\n";
+  out << "  },\n";
+  out << "  \"findings\": [";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\n";
+    out << "      \"rule\": \"" << JsonEscape(f.rule) << "\",\n";
+    out << "      \"file\": \"" << JsonEscape(f.file) << "\",\n";
+    out << "      \"line\": " << f.line << ",\n";
+    out << "      \"column\": " << f.column << ",\n";
+    out << "      \"severity\": \"error\",\n";
+    out << "      \"baselined\": " << (f.baselined ? "true" : "false") << ",\n";
+    out << "      \"subject\": \"" << JsonEscape(f.subject) << "\",\n";
+    out << "      \"message\": \"" << JsonEscape(f.message) << "\",\n";
+    out << "      \"snippet\": \"" << JsonEscape(f.snippet) << "\"\n";
+    out << "    }";
+  }
+  out << (result.findings.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"exit\": " << (result.NewCount() > 0 ? 1 : 0) << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string RenderText(const AnalysisResult& result) {
+  std::ostringstream out;
+  for (const Finding& f : result.findings) {
+    out << f.file << ":" << f.line << ":" << f.column << ": "
+        << (f.baselined ? "baselined" : "error") << ": [" << f.rule << "] " << f.message
+        << "\n";
+    if (!f.snippet.empty()) {
+      out << "    | " << f.snippet << "\n";
+    }
+  }
+  out << "detlint: " << result.files_scanned << " file(s), " << result.NewCount()
+      << " new finding(s), "
+      << (result.findings.size() - static_cast<size_t>(result.NewCount())) << " baselined, "
+      << result.suppressed << " suppressed\n";
+  return out.str();
+}
+
+}  // namespace detlint

@@ -1,0 +1,123 @@
+// detlint CLI.
+//
+//   detlint [--root DIR] [--baseline FILE] [--json FILE] [--fix-baseline]
+//           [--quiet] [PATH...]
+//
+// PATHs (files or directories, default: src) are resolved against --root
+// (default: the current directory) and reported root-relative. Exit codes:
+//   0  no new findings (baselined/suppressed findings are tolerated)
+//   1  at least one new finding
+//   2  usage or I/O error
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detlint.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--baseline FILE] [--json FILE] [--fix-baseline]"
+               " [--quiet] [PATH...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  std::string json_path;
+  bool fix_baseline = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--fix-baseline") {
+      fix_baseline = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option '" << arg << "'\n";
+      return Usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths.push_back("src");
+  }
+
+  std::multimap<std::string, int> baseline;
+  if (!baseline_path.empty() && !fix_baseline) {
+    std::ifstream stream(baseline_path, std::ios::binary);
+    if (stream) {
+      std::ostringstream contents;
+      contents << stream.rdbuf();
+      baseline = detlint::ParseBaseline(contents.str());
+    }
+    // A missing baseline file is an empty baseline, not an error: a clean
+    // tree needs no grandfathered findings.
+  }
+
+  const std::vector<std::string> files = detlint::CollectFiles(root, paths);
+  if (files.empty()) {
+    std::cerr << "detlint: no source files under the given paths\n";
+    return 2;
+  }
+  std::vector<detlint::SourceFile> sources;
+  sources.reserve(files.size());
+  for (const std::string& file : files) {
+    detlint::SourceFile source;
+    if (!detlint::LoadSourceFile(root, file, &source)) {
+      std::cerr << "detlint: cannot read " << file << "\n";
+      return 2;
+    }
+    sources.push_back(std::move(source));
+  }
+
+  const detlint::AnalysisResult result = detlint::Analyze(sources, baseline);
+
+  if (fix_baseline) {
+    if (baseline_path.empty()) {
+      std::cerr << "detlint: --fix-baseline requires --baseline FILE\n";
+      return 2;
+    }
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "detlint: cannot write " << baseline_path << "\n";
+      return 2;
+    }
+    out << detlint::RenderBaseline(result.findings);
+    std::cout << "detlint: baselined " << result.findings.size() << " finding(s) into "
+              << baseline_path << "\n";
+    return 0;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "detlint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << detlint::RenderJson(result);
+  }
+  if (!quiet) {
+    std::cout << detlint::RenderText(result);
+  }
+  return result.NewCount() > 0 ? 1 : 0;
+}

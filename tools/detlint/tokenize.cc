@@ -1,0 +1,251 @@
+// The detlint tokenizer: a minimal C++ lexer sufficient for rule matching.
+// It understands comments (line, block), string/char literals (including
+// raw strings), identifiers, numbers, and single-character punctuation.
+// Preprocessor lines are tokenized like ordinary code — the rules only key
+// off identifiers and local token context, so that is safe.
+
+#include "detlint.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace detlint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+// Parses `detlint: allow(rule): reason` markers out of one comment's text.
+void ParseMarkers(const std::string& comment, int line, SourceFile* file) {
+  size_t at = 0;
+  static const std::string kMarker = "detlint: allow(";
+  while ((at = comment.find(kMarker, at)) != std::string::npos) {
+    const size_t rule_begin = at + kMarker.size();
+    const size_t rule_end = comment.find(')', rule_begin);
+    at = rule_begin;
+    if (rule_end == std::string::npos) {
+      file->bad_suppression_lines.push_back(line);
+      continue;
+    }
+    const std::string rule = Trim(comment.substr(rule_begin, rule_end - rule_begin));
+    // The reason is mandatory: "): <non-empty text>".
+    std::string reason;
+    if (rule_end + 1 < comment.size() && comment[rule_end + 1] == ':') {
+      reason = Trim(comment.substr(rule_end + 2));
+    }
+    if (rule.empty() || reason.empty()) {
+      file->bad_suppression_lines.push_back(line);
+      continue;
+    }
+    file->suppressions.push_back(Suppression{rule, reason, line});
+  }
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& contents, SourceFile* file)
+      : src_(contents), file_(file) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        Advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        LexQuoted(c, tokens);
+        continue;
+      }
+      if (c == 'R' && Peek(1) == '"' && LooksLikeRawString()) {
+        LexRawString(tokens);
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifier(tokens);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        LexNumber(tokens);
+        continue;
+      }
+      tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line_, column_});
+      Advance();
+    }
+    return tokens;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void LexLineComment() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      text += src_[pos_];
+      Advance();
+    }
+    if (file_ != nullptr) {
+      ParseMarkers(text, start_line, file_);
+    }
+  }
+
+  void LexBlockComment() {
+    const int start_line = line_;
+    std::string text;
+    Advance();  // '/'
+    Advance();  // '*'
+    while (pos_ < src_.size() && !(src_[pos_] == '*' && Peek(1) == '/')) {
+      text += src_[pos_];
+      Advance();
+    }
+    if (pos_ < src_.size()) {
+      Advance();  // '*'
+      Advance();  // '/'
+    }
+    if (file_ != nullptr) {
+      ParseMarkers(text, start_line, file_);
+    }
+  }
+
+  void LexQuoted(char quote, std::vector<Token>& tokens) {
+    tokens.push_back(Token{TokKind::kString, std::string(1, quote), line_, column_});
+    Advance();  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != quote) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        Advance();
+      }
+      if (src_[pos_] == '\n') {
+        break;  // unterminated on this line; resynchronize
+      }
+      Advance();
+    }
+    if (pos_ < src_.size() && src_[pos_] == quote) {
+      Advance();
+    }
+  }
+
+  // R"delim( — delimiter is 0-16 chars of non-parenthesis, non-space.
+  bool LooksLikeRawString() const {
+    size_t i = pos_ + 2;
+    for (int n = 0; n <= 16 && i < src_.size(); ++n, ++i) {
+      const char c = src_[i];
+      if (c == '(') {
+        return true;
+      }
+      if (c == ')' || c == '\\' || std::isspace(static_cast<unsigned char>(c))) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  void LexRawString(std::vector<Token>& tokens) {
+    tokens.push_back(Token{TokKind::kString, "R\"", line_, column_});
+    Advance();  // 'R'
+    Advance();  // '"'
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim += src_[pos_];
+      Advance();
+    }
+    if (pos_ < src_.size()) {
+      Advance();  // '('
+    }
+    const std::string terminator = ")" + delim + "\"";
+    while (pos_ < src_.size() && src_.compare(pos_, terminator.size(), terminator) != 0) {
+      Advance();
+    }
+    for (size_t i = 0; i < terminator.size() && pos_ < src_.size(); ++i) {
+      Advance();
+    }
+  }
+
+  void LexIdentifier(std::vector<Token>& tokens) {
+    Token token{TokKind::kIdentifier, "", line_, column_};
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) {
+      token.text += src_[pos_];
+      Advance();
+    }
+    tokens.push_back(std::move(token));
+  }
+
+  void LexNumber(std::vector<Token>& tokens) {
+    Token token{TokKind::kNumber, "", line_, column_};
+    // Good enough for matching purposes: digits plus the usual suffix and
+    // separator characters (also swallows hex/exponent forms).
+    while (pos_ < src_.size() &&
+           (IsIdentChar(src_[pos_]) || src_[pos_] == '\'' || src_[pos_] == '.')) {
+      token.text += src_[pos_];
+      Advance();
+    }
+    tokens.push_back(std::move(token));
+  }
+
+  const std::string& src_;
+  SourceFile* file_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& contents) {
+  Lexer lexer(contents, nullptr);
+  return lexer.Run();
+}
+
+SourceFile MakeSourceFile(const std::string& path, const std::string& contents) {
+  SourceFile file;
+  file.path = path;
+  file.contents = contents;
+  std::istringstream stream(contents);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    file.lines.push_back(line);
+  }
+  Lexer lexer(contents, &file);
+  file.tokens = lexer.Run();
+  return file;
+}
+
+}  // namespace detlint
