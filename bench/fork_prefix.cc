@@ -1,0 +1,209 @@
+// Snapshot/fork prefix reuse vs full-replay execution.
+//
+// A guided campaign probing a long partition scenario is massively
+// prefix-redundant: every mutant of a corpus case shares the parent's
+// prefix, and every case pays the same cluster boot, elections, and settles
+// before its first divergent event. The fork executor (neat/fork.h) keeps
+// one live cluster per seed plus an ancestor chain of whole-system
+// snapshots, restores the longest cached prefix of each incoming case, and
+// executes (and scans) only the suffix; the classic executor rebuilds the
+// cluster and re-runs the whole case every time.
+//
+// This bench sweeps the same suites through both executors and reports
+// cases/s side by side. Both executors are byte-identical in results (the
+// Fork.* identity tests pin that), so the only difference is time. Two
+// suite shapes bracket the win:
+//
+//   - the paper-pruned pbkv suite (len <= 3): short cases, where the
+//     per-case Finish (teardown settle, checkers) dominates and forking
+//     saves little — the honesty row;
+//   - a replace family over a deep partition schedule: one parent case of
+//     repeated [partition, majority write, heal] blocks (each majority
+//     write under partition pays a 600 ms election settle), plus every
+//     single-event replacement of its healthy tail — the shape guided
+//     rounds and ddmin probes produce, where each mutant diverges part-way
+//     through the tail;
+//   - an append family over the same parent: every one- and two-event
+//     extension, the mutation engine's append op, where every mutant
+//     shares the parent's entire prefix.
+//
+// Exits non-zero unless the append-family suite speeds up by at least 5x —
+// the acceptance bar for the fork executor.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "neat/adapters.h"
+#include "neat/fork.h"
+#include "neat/testgen.h"
+#include "systems/pbkv/cluster.h"
+
+namespace {
+
+neat::TestEvent Partition() {
+  neat::TestEvent event;
+  event.kind = neat::EventKind::kPartition;
+  event.partition = neat::PartitionKind::kComplete;
+  event.target = neat::IsolationTarget::kLeader;
+  return event;
+}
+
+neat::TestEvent Heal() {
+  neat::TestEvent event;
+  event.kind = neat::EventKind::kHeal;
+  return event;
+}
+
+neat::TestEvent Client(neat::EventKind kind, neat::Side side) {
+  neat::TestEvent event;
+  event.kind = kind;
+  event.side = side;
+  return event;
+}
+
+// A deep corpus case: `blocks` repeats of [partition, majority write,
+// heal] (each majority write under a partition pays a 600 ms election
+// settle) followed by a cheap healthy tail.
+neat::TestCase DeepParent(int blocks, int tail) {
+  neat::TestCase parent;
+  for (int block = 0; block < blocks; ++block) {
+    parent.push_back(Partition());
+    parent.push_back(Client(neat::EventKind::kWrite, neat::Side::kMajority));
+    parent.push_back(Heal());
+  }
+  for (int i = 0; i < tail; ++i) {
+    parent.push_back(Client(i % 2 == 0 ? neat::EventKind::kWrite : neat::EventKind::kRead,
+                            neat::Side::kMajority));
+  }
+  return parent;
+}
+
+const std::vector<neat::TestEvent>& Alternatives() {
+  static const std::vector<neat::TestEvent> alternatives = {
+      Client(neat::EventKind::kWrite, neat::Side::kMajority),
+      Client(neat::EventKind::kWrite, neat::Side::kMinority),
+      Client(neat::EventKind::kRead, neat::Side::kMajority),
+      Client(neat::EventKind::kRead, neat::Side::kMinority),
+      Client(neat::EventKind::kDelete, neat::Side::kMajority),
+  };
+  return alternatives;
+}
+
+// The parent plus every single-event replacement in its tail: the parent
+// first (a guided round executes the corpus case before its mutants), then
+// each mutant in tail order — the order a DFS-ish mutation sweep produces,
+// which keeps the shared prefix hot in the snapshot chain. A mutant at
+// position i shares only i events with the parent, so the average forked
+// suffix is half the tail.
+std::vector<neat::TestCase> ReplaceFamily(int blocks, int tail) {
+  const neat::TestCase parent = DeepParent(blocks, tail);
+  std::vector<neat::TestCase> suite;
+  suite.push_back(parent);
+  for (size_t i = parent.size() - static_cast<size_t>(tail); i < parent.size(); ++i) {
+    for (const neat::TestEvent& alternative : Alternatives()) {
+      neat::TestCase mutant = parent;
+      mutant[i] = alternative;
+      if (mutant == parent) {
+        continue;
+      }
+      suite.push_back(mutant);
+    }
+  }
+  return suite;
+}
+
+// The parent plus every one- and two-event extension (the mutation
+// engine's append op): every mutant shares the parent's full prefix, so a
+// forked run executes one or two events plus teardown no matter how deep
+// the parent is — the best case for prefix reuse.
+std::vector<neat::TestCase> AppendFamily(int blocks, int tail) {
+  const neat::TestCase parent = DeepParent(blocks, tail);
+  std::vector<neat::TestCase> suite;
+  suite.push_back(parent);
+  for (const neat::TestEvent& first : Alternatives()) {
+    neat::TestCase extended = parent;
+    extended.push_back(first);
+    suite.push_back(extended);
+    for (const neat::TestEvent& second : Alternatives()) {
+      neat::TestCase pair = extended;
+      pair.push_back(second);
+      suite.push_back(pair);
+    }
+  }
+  return suite;
+}
+
+double SweepSeconds(const neat::CaseExecutor& executor,
+                    const std::vector<neat::TestCase>& suite) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const neat::TestCase& test_case : suite) {
+    (void)executor(test_case, 1);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+struct Row {
+  const char* suite;
+  size_t cases;
+  double replay_seconds;
+  double forked_seconds;
+  neat::ForkStats stats;
+
+  double Speedup() const { return replay_seconds / forked_seconds; }
+};
+
+Row RunSuite(const char* name, const std::vector<neat::TestCase>& suite) {
+  Row row;
+  row.suite = name;
+  row.cases = suite.size();
+  const neat::CaseExecutor replay = neat::PbkvCaseExecutor(pbkv::VoltDbOptions());
+  row.replay_seconds = SweepSeconds(replay, suite);
+  auto stats = std::make_shared<neat::ForkStats>();
+  const neat::CaseExecutor forked = neat::ForkingCaseExecutor(
+      neat::PbkvRunnerFactory(pbkv::VoltDbOptions()), neat::ForkOptions{}, stats);
+  row.forked_seconds = SweepSeconds(forked, suite);
+  row.stats = *stats;
+  return row;
+}
+
+void PrintRow(const Row& row) {
+  const double replay_cps = static_cast<double>(row.cases) / row.replay_seconds;
+  const double forked_cps = static_cast<double>(row.cases) / row.forked_seconds;
+  const uint64_t total_events = row.stats.events_applied + row.stats.events_forked_over;
+  const double reuse_pct = total_events == 0
+                               ? 0.0
+                               : 100.0 * static_cast<double>(row.stats.events_forked_over) /
+                                     static_cast<double>(total_events);
+  std::printf("| %-34s | %6zu | %9.1f | %9.1f | %5.1fx | %5.1f%% |\n", row.suite, row.cases,
+              replay_cps, forked_cps, row.Speedup(), reuse_pct);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("fork_prefix: snapshot/fork prefix reuse vs full replay (pbkv)");
+
+  neat::TestCaseGenerator::Alphabet paper_alphabet;
+  const neat::TestCaseGenerator paper_gen(paper_alphabet);
+
+  const std::vector<Row> rows = {
+      RunSuite("paper-pruned, len <= 3", paper_gen.EnumerateUpTo(3, neat::PaperPruning())),
+      RunSuite("replace family, 24-block scenario", ReplaceFamily(/*blocks=*/24, /*tail=*/12)),
+      RunSuite("append family, 24-block scenario", AppendFamily(/*blocks=*/24, /*tail=*/12)),
+  };
+
+  std::printf("\n| suite                              | cases  | replay c/s | forked c/s | speedup | prefix reuse |\n");
+  std::printf("|------------------------------------|--------|-----------|-----------|-------|--------|\n");
+  for (const Row& row : rows) {
+    PrintRow(row);
+  }
+  std::printf("\nprefix reuse = events restored from snapshots / total case events.\n");
+
+  const double family_speedup = rows.back().Speedup();
+  std::printf("append-family speedup: %.1fx (acceptance bar: 5x)\n", family_speedup);
+  return family_speedup >= 5.0 ? 0 : 1;
+}

@@ -76,6 +76,22 @@ class History {
 
   std::string Dump() const;
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  //
+  // The history is append-only, so a snapshot is just its length plus the
+  // id counter; restore rewinds to that length.
+  struct State {
+    uint64_t next_id = 1;
+    size_t size = 0;
+  };
+  State CaptureState() const { return State{next_id_, ops_.size()}; }
+  void RestoreState(const State& state) {
+    next_id_ = state.next_id;
+    if (ops_.size() > state.size) {
+      ops_.resize(state.size);
+    }
+  }
+
  private:
   uint64_t next_id_ = 1;
   std::vector<Operation> ops_;

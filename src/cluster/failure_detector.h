@@ -64,6 +64,13 @@ class FailureDetector {
   const Options& options() const { return options_; }
   net::NodeId self() const { return self_; }
 
+  // Snapshot/restore of the mutable view (self/peers/options are fixed
+  // configuration). Used by the owning process's state capture.
+  const std::map<net::NodeId, sim::Time>& last_heard() const { return last_heard_; }
+  void set_last_heard(std::map<net::NodeId, sim::Time> last_heard) {
+    last_heard_ = std::move(last_heard);
+  }
+
  private:
   sim::Duration DeathTimeout() const {
     return options_.interval * options_.miss_threshold;

@@ -51,6 +51,19 @@ void Process::Restart() {
   Boot();
 }
 
+void Process::RestoreKernel(const KernelState& state) {
+  if (crashed_ != state.crashed) {
+    if (state.crashed) {
+      network_->Register(id_, nullptr);
+    } else {
+      RegisterHandler();
+    }
+  }
+  epoch_ = state.epoch;
+  crashed_ = state.crashed;
+  booted_once_ = state.booted_once;
+}
+
 sim::EventId Process::After(sim::Duration delay, std::function<void()> fn) {
   const uint64_t epoch = epoch_;
   return simulator_->Schedule(delay, [this, epoch, fn = std::move(fn)]() {

@@ -47,6 +47,25 @@ class Process {
   bool crashed() const { return crashed_; }
   uint64_t incarnation() const { return epoch_; }
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  //
+  // The kernel-level incarnation state. Subclasses capture their own fields
+  // separately; this covers what Process itself owns. Restoring the epoch
+  // exactly matters: pending timers retained by the simulator guard on
+  // `epoch_ == epoch`, so a rewound process must present the epoch its
+  // timers were scheduled under.
+  struct KernelState {
+    uint64_t epoch = 0;
+    bool crashed = true;
+    bool booted_once = false;
+  };
+  KernelState CaptureKernel() const { return KernelState{epoch_, crashed_, booted_once_}; }
+  // Reinstates the kernel state, re-registering with (or detaching from)
+  // the network when the crashed-ness differs from the current one. Does
+  // not run the OnStart/OnRestart/OnCrash hooks — the subclass restores its
+  // own state to match.
+  void RestoreKernel(const KernelState& state);
+
  protected:
   // Subclass hooks.
   virtual void OnStart() {}

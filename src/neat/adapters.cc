@@ -1,10 +1,14 @@
 #include "neat/adapters.h"
 
 #include <algorithm>
+#include <cassert>
+#include <optional>
+#include <utility>
 
 #include "check/linearizability.h"
 #include "neat/coverage.h"
 #include "neat/trace_report.h"
+#include "neat/trace_scan.h"
 
 namespace neat {
 namespace {
@@ -74,6 +78,80 @@ void SchedSystem::Shutdown() {
   all.push_back(cluster_.rm_id());
   all.push_back(cluster_.store_id());
   cluster_.env().Crash(all);
+}
+
+// --- system snapshots ---
+//
+// Each adapter's snapshot wraps its cluster's CaptureState (environment
+// plus every process) in a SystemState. The concrete types stay private to
+// this translation unit; Restore type-checks with a dynamic_cast, which
+// also enforces the same-system half of the contract.
+
+namespace {
+
+struct PbkvSystemState : SystemState {
+  explicit PbkvSystemState(pbkv::Cluster::State captured) : state(std::move(captured)) {}
+  pbkv::Cluster::State state;
+};
+
+struct RaftKvSystemState : SystemState {
+  explicit RaftKvSystemState(raftkv::Cluster::State captured) : state(std::move(captured)) {}
+  raftkv::Cluster::State state;
+};
+
+struct LocksvcSystemState : SystemState {
+  LocksvcSystemState(locksvc::Cluster::State captured, int probe)
+      : state(std::move(captured)), status_probe(probe) {}
+  locksvc::Cluster::State state;
+  int status_probe = 0;
+};
+
+struct MqueueSystemState : SystemState {
+  explicit MqueueSystemState(mqueue::Cluster::State captured) : state(std::move(captured)) {}
+  mqueue::Cluster::State state;
+};
+
+}  // namespace
+
+std::unique_ptr<SystemState> PbkvSystem::Snapshot() const {
+  return std::make_unique<PbkvSystemState>(cluster_.CaptureState());
+}
+
+void PbkvSystem::Restore(const SystemState& state) {
+  const auto* snapshot = dynamic_cast<const PbkvSystemState*>(&state);
+  assert(snapshot != nullptr && "pbkv restore needs a pbkv snapshot");
+  cluster_.RestoreState(snapshot->state);
+}
+
+std::unique_ptr<SystemState> RaftKvSystem::Snapshot() const {
+  return std::make_unique<RaftKvSystemState>(cluster_.CaptureState());
+}
+
+void RaftKvSystem::Restore(const SystemState& state) {
+  const auto* snapshot = dynamic_cast<const RaftKvSystemState*>(&state);
+  assert(snapshot != nullptr && "raftkv restore needs a raftkv snapshot");
+  cluster_.RestoreState(snapshot->state);
+}
+
+std::unique_ptr<SystemState> LocksvcSystem::Snapshot() const {
+  return std::make_unique<LocksvcSystemState>(cluster_.CaptureState(), status_probe_);
+}
+
+void LocksvcSystem::Restore(const SystemState& state) {
+  const auto* snapshot = dynamic_cast<const LocksvcSystemState*>(&state);
+  assert(snapshot != nullptr && "locksvc restore needs a locksvc snapshot");
+  cluster_.RestoreState(snapshot->state);
+  status_probe_ = snapshot->status_probe;
+}
+
+std::unique_ptr<SystemState> MqueueSystem::Snapshot() const {
+  return std::make_unique<MqueueSystemState>(cluster_.CaptureState());
+}
+
+void MqueueSystem::Restore(const SystemState& state) {
+  const auto* snapshot = dynamic_cast<const MqueueSystemState*>(&state);
+  assert(snapshot != nullptr && "mqueue restore needs an mqueue snapshot");
+  cluster_.RestoreState(snapshot->state);
 }
 
 namespace {
@@ -156,6 +234,21 @@ class PartitionScript {
     }
   }
 
+  // The installed-partition tracking is part of a forked run's state: the
+  // backend rules themselves rewind through the environment snapshot, and
+  // this mirrors the script's view of them.
+  struct State {
+    bool partitioned = false;
+    net::Partition partition;
+    net::NodeId isolated = net::kInvalidNode;
+  };
+  State CaptureState() const { return State{partitioned_, partition_, isolated_}; }
+  void RestoreState(const State& state) {
+    partitioned_ = state.partitioned;
+    partition_ = state.partition;
+    isolated_ = state.isolated;
+  }
+
  private:
   TestEnv& env_;
   net::Group servers_;
@@ -165,10 +258,15 @@ class PartitionScript {
 };
 
 // Samples ISystem::StateDigest between test events and turns the observed
-// transitions into sd: coverage features.
+// transitions into sd: coverage features. Also owns the incremental trace
+// fold (neat/trace_scan.h): each Observe advances it over the records the
+// event just appended, so a snapshot taken at an event boundary carries the
+// fold's position — a forked case re-scans only its own suffix instead of
+// the whole trace at Finish.
 class StateObserver {
  public:
-  explicit StateObserver(ISystem& system) : system_(system), last_(system.StateDigest()) {}
+  StateObserver(ISystem& system, const sim::TraceLog& trace)
+      : system_(system), trace_(trace), last_(system.StateDigest()) {}
 
   void Observe() {
     const uint64_t digest = system_.StateDigest();
@@ -176,68 +274,191 @@ class StateObserver {
       features_.push_back(StateTransitionFeature(last_, digest));
       last_ = digest;
     }
+    scan_.Advance(trace_);
   }
 
   // The run's full coverage: trace-derived features plus the observed
   // state transitions, sorted and deduplicated.
-  std::vector<std::string> Finish(const sim::TraceLog& trace) {
-    std::vector<std::string> features = TraceCoverage(trace);
+  std::vector<std::string> Finish() {
+    scan_.Advance(trace_);
+    std::vector<std::string> features = scan_.Features();
     features.insert(features.end(), features_.begin(), features_.end());
     std::sort(features.begin(), features.end());
     features.erase(std::unique(features.begin(), features.end()), features.end());
     return features;
   }
 
+  // What Summarize(trace) would report — served from the fold.
+  TraceReport Report() {
+    scan_.Advance(trace_);
+    return scan_.Report(trace_);
+  }
+
+  struct State {
+    uint64_t last = 0;
+    std::vector<std::string> features;
+    TraceScan scan;
+  };
+  State CaptureState() const { return State{last_, features_, scan_}; }
+  void RestoreState(const State& state) {
+    last_ = state.last;
+    features_ = state.features;
+    scan_ = state.scan;
+  }
+
  private:
   ISystem& system_;
+  const sim::TraceLog& trace_;
   uint64_t last_;
   std::vector<std::string> features_;
+  TraceScan scan_;
 };
 
-}  // namespace
+// --- per-system case runners ---
+//
+// Each runner is the corresponding Run*TestCase executor cut at its event
+// loop: the constructor is everything before the loop (build, settle,
+// client config), ApplyEvent is one loop iteration, Finish is everything
+// after. The Run*TestCase wrappers below drive a fresh runner straight
+// through, so their behaviour is unchanged; the fork executor drives the
+// same runner with snapshots in between.
 
-ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& test_case,
-                                uint64_t seed, bool strong) {
-  pbkv::Cluster::Config config;
-  config.options = options;
-  config.num_clients = 2;
-  config.seed = seed;
-  PbkvSystem system(config);
-  pbkv::Cluster& cluster = system.cluster();
-  cluster.Settle(sim::Milliseconds(500));
-
-  ExecutionResult result;
-  result.trace = FormatTestCase(test_case);
-  StateObserver observer(system);
-
-  constexpr int kMinorityClient = 0;
-  constexpr int kMajorityClient = 1;
-  cluster.client(kMinorityClient).set_allow_redirect(false);
-  cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
-  cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
-
-  PartitionScript script(cluster.env(), cluster.server_ids());
+struct PbkvRunnerState : SystemState {
+  std::unique_ptr<SystemState> system;
+  PartitionScript::State script;
+  StateObserver::State observer;
   bool slept_for_election = false;
   int value_counter = 0;
-  const std::string key = "k";
+};
 
-  auto client_for = [&](Side side) -> int {
-    if (side == Side::kMinority && script.partitioned()) {
+class PbkvRunner : public CaseRunner {
+ public:
+  PbkvRunner(const pbkv::Options& options, uint64_t seed, bool strong)
+      : strong_(strong), system_(MakeConfig(options, seed)) {
+    pbkv::Cluster& cluster = system_.cluster();
+    cluster.Settle(sim::Milliseconds(500));
+    observer_.emplace(system_, system_.Env().simulator().Trace());
+    cluster.client(kMinorityClient).set_allow_redirect(false);
+    cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
+    cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
+    script_.emplace(cluster.env(), cluster.server_ids());
+  }
+
+  TestEnv& Env() override { return system_.Env(); }
+
+  void ApplyEvent(const TestEvent& event) override {
+    pbkv::Cluster& cluster = system_.cluster();
+    switch (event.kind) {
+      case EventKind::kPartition:
+        script_->Partition(event.partition, PickIsolated(cluster, event.target));
+        slept_for_election_ = false;
+        break;
+      case EventKind::kHeal:
+        script_->Heal();
+        break;
+      case EventKind::kWrite:
+        cluster.Put(ClientFor(event.side), key_, "v" + std::to_string(++value_counter_));
+        break;
+      case EventKind::kRead:
+        cluster.Get(ClientFor(event.side), key_);
+        break;
+      case EventKind::kDelete:
+        cluster.Delete(ClientFor(event.side), key_);
+        break;
+      case EventKind::kLock:
+      case EventKind::kUnlock:
+        break;  // pbkv has no locks; the locksvc executor covers those
+    }
+    observer_->Observe();
+  }
+
+  ExecutionResult Finish(const TestCase& test_case) override {
+    pbkv::Cluster& cluster = system_.cluster();
+    ExecutionResult result;
+    result.trace = FormatTestCase(test_case);
+    if (script_->partitioned()) {
+      // The studied partitions last minutes to hours; let the system run its
+      // failure-handling (elections, step-downs) before the heal so latent
+      // damage — e.g. asynchronously replicated writes stranded on a deposed
+      // leader — manifests.
+      cluster.Settle(sim::Milliseconds(800));
+      script_->Heal();
+    }
+    cluster.Settle(sim::Seconds(1));
+    observer_->Observe();
+    cluster.client(kMajorityClient).set_contact(cluster.server_ids().front());
+    cluster.client(kMajorityClient).set_allow_redirect(true);
+    cluster.Get(kMajorityClient, key_, /*final_read=*/true);
+
+    const check::History& history = cluster.history();
+    auto add = [&result](std::vector<check::Violation> violations) {
+      result.violations.insert(result.violations.end(), violations.begin(), violations.end());
+    };
+    add(check::CheckDirtyReads(history));
+    add(check::CheckDataLoss(history));
+    add(check::CheckReappearance(history));
+    if (strong_) {
+      add(check::CheckStaleReads(history));
+    }
+    result.found_failure = !result.violations.empty();
+    result.trace_report = observer_->Report();
+    result.coverage = observer_->Finish();
+    return result;
+  }
+
+  std::unique_ptr<SystemState> Snapshot() const override {
+    auto state = std::make_unique<PbkvRunnerState>();
+    state->system = system_.Snapshot();
+    if (state->system == nullptr) {
+      return nullptr;
+    }
+    state->script = script_->CaptureState();
+    state->observer = observer_->CaptureState();
+    state->slept_for_election = slept_for_election_;
+    state->value_counter = value_counter_;
+    return state;
+  }
+
+  void Restore(const SystemState& state) override {
+    const auto* runner_state = dynamic_cast<const PbkvRunnerState*>(&state);
+    assert(runner_state != nullptr && "pbkv runner restore needs a pbkv runner state");
+    system_.Restore(*runner_state->system);
+    script_->RestoreState(runner_state->script);
+    observer_->RestoreState(runner_state->observer);
+    slept_for_election_ = runner_state->slept_for_election;
+    value_counter_ = runner_state->value_counter;
+  }
+
+ private:
+  static constexpr int kMinorityClient = 0;
+  static constexpr int kMajorityClient = 1;
+
+  static pbkv::Cluster::Config MakeConfig(const pbkv::Options& options, uint64_t seed) {
+    pbkv::Cluster::Config config;
+    config.options = options;
+    config.num_clients = 2;
+    config.seed = seed;
+    return config;
+  }
+
+  int ClientFor(Side side) {
+    pbkv::Cluster& cluster = system_.cluster();
+    if (side == Side::kMinority && script_->partitioned()) {
       // Section 5.2: events on the old leader's side must be invoked right
       // after the partition, before it steps down — no sleep.
-      cluster.client(kMinorityClient).set_contact(script.isolated());
+      cluster.client(kMinorityClient).set_contact(script_->isolated());
       return kMinorityClient;
     }
-    if (script.partitioned() && !slept_for_election) {
+    if (script_->partitioned() && !slept_for_election_) {
       // ...while on the majority side, the test sleeps until a new leader
       // is elected (the NEAT tests' SLEEP_LEADER_ELECTION_PERIOD).
       cluster.Settle(sim::Milliseconds(600));
-      slept_for_election = true;
+      slept_for_election_ = true;
     }
     net::NodeId contact = cluster.server_ids().front();
-    if (script.partitioned()) {
+    if (script_->partitioned()) {
       for (net::NodeId node : cluster.server_ids()) {
-        if (node != script.isolated()) {
+        if (node != script_->isolated()) {
           contact = node;
           break;
         }
@@ -245,189 +466,159 @@ ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& te
     }
     cluster.client(kMajorityClient).set_contact(contact);
     return kMajorityClient;
-  };
+  }
 
-  for (const TestEvent& event : test_case) {
+  bool strong_;
+  PbkvSystem system_;
+  std::optional<StateObserver> observer_;
+  std::optional<PartitionScript> script_;
+  bool slept_for_election_ = false;
+  int value_counter_ = 0;
+  const std::string key_ = "k";
+};
+
+struct LocksvcRunnerState : SystemState {
+  std::unique_ptr<SystemState> system;
+  PartitionScript::State script;
+  StateObserver::State observer;
+};
+
+class LocksvcRunner : public CaseRunner {
+ public:
+  LocksvcRunner(const locksvc::Options& options, uint64_t seed)
+      : system_(MakeConfig(options, seed)) {
+    locksvc::Cluster& cluster = system_.cluster();
+    cluster.Settle(sim::Milliseconds(300));
+    observer_.emplace(system_, system_.Env().simulator().Trace());
+    cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
+    cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
+    script_.emplace(cluster.env(), cluster.server_ids());
+    isolated_ = cluster.server_ids().back();
+  }
+
+  TestEnv& Env() override { return system_.Env(); }
+
+  void ApplyEvent(const TestEvent& event) override {
+    locksvc::Cluster& cluster = system_.cluster();
     switch (event.kind) {
       case EventKind::kPartition:
-        script.Partition(event.partition, PickIsolated(cluster, event.target));
-        slept_for_election = false;
-        break;
-      case EventKind::kHeal:
-        script.Heal();
-        break;
-      case EventKind::kWrite:
-        cluster.Put(client_for(event.side), key, "v" + std::to_string(++value_counter));
-        break;
-      case EventKind::kRead:
-        cluster.Get(client_for(event.side), key);
-        break;
-      case EventKind::kDelete:
-        cluster.Delete(client_for(event.side), key);
-        break;
-      case EventKind::kLock:
-      case EventKind::kUnlock:
-        break;  // pbkv has no locks; the locksvc executor covers those
-    }
-    observer.Observe();
-  }
-
-  if (script.partitioned()) {
-    // The studied partitions last minutes to hours; let the system run its
-    // failure-handling (elections, step-downs) before the heal so latent
-    // damage — e.g. asynchronously replicated writes stranded on a deposed
-    // leader — manifests.
-    cluster.Settle(sim::Milliseconds(800));
-    script.Heal();
-  }
-  cluster.Settle(sim::Seconds(1));
-  observer.Observe();
-  cluster.client(kMajorityClient).set_contact(cluster.server_ids().front());
-  cluster.client(kMajorityClient).set_allow_redirect(true);
-  cluster.Get(kMajorityClient, key, /*final_read=*/true);
-
-  const check::History& history = cluster.history();
-  auto add = [&result](std::vector<check::Violation> violations) {
-    result.violations.insert(result.violations.end(), violations.begin(), violations.end());
-  };
-  add(check::CheckDirtyReads(history));
-  add(check::CheckDataLoss(history));
-  add(check::CheckReappearance(history));
-  if (strong) {
-    add(check::CheckStaleReads(history));
-  }
-  result.found_failure = !result.violations.empty();
-  result.trace_report = Summarize(cluster.env().simulator().Trace());
-  result.coverage = observer.Finish(cluster.env().simulator().Trace());
-  return result;
-}
-
-ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCase& test_case,
-                                   uint64_t seed) {
-  locksvc::Cluster::Config config;
-  config.options = options;
-  config.num_clients = 2;
-  config.seed = seed;
-  LocksvcSystem system(config);
-  locksvc::Cluster& cluster = system.cluster();
-  cluster.Settle(sim::Milliseconds(300));
-
-  ExecutionResult result;
-  result.trace = FormatTestCase(test_case);
-  StateObserver observer(system);
-
-  constexpr int kMinorityClient = 0;
-  constexpr int kMajorityClient = 1;
-  cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
-  cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
-
-  PartitionScript script(cluster.env(), cluster.server_ids());
-  const net::NodeId isolated = cluster.server_ids().back();
-  const std::string lock = "L";
-
-  auto client_for = [&](Side side) -> int {
-    if (side == Side::kMinority && script.partitioned()) {
-      cluster.client(kMinorityClient).set_contact(isolated);
-      return kMinorityClient;
-    }
-    net::NodeId contact = cluster.server_ids().front();
-    if (script.partitioned() && contact == isolated) {
-      contact = cluster.server_ids()[1];
-    }
-    cluster.client(kMajorityClient).set_contact(contact);
-    return kMajorityClient;
-  };
-
-  for (const TestEvent& event : test_case) {
-    switch (event.kind) {
-      case EventKind::kPartition:
-        script.Partition(event.partition, isolated);
+        script_->Partition(event.partition, isolated_);
         // Let the flawed views shrink, as the Ignite failures require.
         cluster.Settle(sim::Milliseconds(400));
         break;
       case EventKind::kHeal:
-        script.Heal();
+        script_->Heal();
         break;
       case EventKind::kLock:
-        cluster.Lock(client_for(event.side), lock);
+        cluster.Lock(ClientFor(event.side), lock_);
         break;
       case EventKind::kUnlock:
-        cluster.Unlock(client_for(event.side), lock);
+        cluster.Unlock(ClientFor(event.side), lock_);
         break;
       default:
         break;  // the lock service has no KV surface
     }
-    observer.Observe();
+    observer_->Observe();
   }
-  script.Heal();
-  cluster.Settle(sim::Seconds(1));
-  observer.Observe();
-  result.violations = check::CheckBrokenLocks(cluster.history());
-  result.found_failure = !result.violations.empty();
-  result.trace_report = Summarize(cluster.env().simulator().Trace());
-  result.coverage = observer.Finish(cluster.env().simulator().Trace());
-  return result;
-}
 
-ExecutionResult RunRaftKvTestCase(const raftkv::Options& options, const TestCase& test_case,
-                                  uint64_t seed) {
-  raftkv::Cluster::Config config;
-  config.options = options;
-  config.num_servers = 5;  // the #5289 topology needs an orphaned pair
-  config.num_clients = 3;
-  config.seed = seed;
-  RaftKvSystem system(config);
-  raftkv::Cluster& cluster = system.cluster();
-  const net::NodeId initial_leader = cluster.WaitForLeader();
+  ExecutionResult Finish(const TestCase& test_case) override {
+    locksvc::Cluster& cluster = system_.cluster();
+    ExecutionResult result;
+    result.trace = FormatTestCase(test_case);
+    script_->Heal();
+    cluster.Settle(sim::Seconds(1));
+    observer_->Observe();
+    result.violations = check::CheckBrokenLocks(cluster.history());
+    result.found_failure = !result.violations.empty();
+    result.trace_report = observer_->Report();
+    result.coverage = observer_->Finish();
+    return result;
+  }
 
-  ExecutionResult result;
-  result.trace = FormatTestCase(test_case);
-  StateObserver observer(system);
+  std::unique_ptr<SystemState> Snapshot() const override {
+    auto state = std::make_unique<LocksvcRunnerState>();
+    state->system = system_.Snapshot();
+    if (state->system == nullptr) {
+      return nullptr;
+    }
+    state->script = script_->CaptureState();
+    state->observer = observer_->CaptureState();
+    return state;
+  }
 
-  constexpr int kMinorityClient = 0;
-  constexpr int kMajorityClient = 1;
-  constexpr int kAdminClient = 2;
-  cluster.client(kMinorityClient).set_allow_redirect(false);
-  cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(800));
-  cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(800));
-  cluster.client(kAdminClient).set_allow_redirect(false);
-  cluster.client(kAdminClient).set_op_timeout(sim::Milliseconds(800));
+  void Restore(const SystemState& state) override {
+    const auto* runner_state = dynamic_cast<const LocksvcRunnerState*>(&state);
+    assert(runner_state != nullptr && "locksvc runner restore needs a locksvc runner state");
+    system_.Restore(*runner_state->system);
+    script_->RestoreState(runner_state->script);
+    observer_->RestoreState(runner_state->observer);
+  }
 
-  const net::Group servers = cluster.server_ids();
-  PartitionScript script(cluster.env(), servers);
-  // The nodes cut off by the current partition; minority-side client
-  // events contact its first member.
-  net::Group minority_side;
-  bool slept_for_election = false;
-  int value_counter = 0;
-  const std::string key = "k";
+ private:
+  static constexpr int kMinorityClient = 0;
+  static constexpr int kMajorityClient = 1;
 
-  auto client_for = [&](Side side) -> int {
-    if (side == Side::kMinority && script.partitioned() && !minority_side.empty()) {
-      cluster.client(kMinorityClient).set_contact(minority_side.front());
+  static locksvc::Cluster::Config MakeConfig(const locksvc::Options& options, uint64_t seed) {
+    locksvc::Cluster::Config config;
+    config.options = options;
+    config.num_clients = 2;
+    config.seed = seed;
+    return config;
+  }
+
+  int ClientFor(Side side) {
+    locksvc::Cluster& cluster = system_.cluster();
+    if (side == Side::kMinority && script_->partitioned()) {
+      cluster.client(kMinorityClient).set_contact(isolated_);
       return kMinorityClient;
     }
-    if (script.partitioned() && !slept_for_election) {
-      cluster.Settle(sim::Milliseconds(700));
-      slept_for_election = true;
-    }
-    net::NodeId contact = initial_leader;
-    const std::vector<net::NodeId> leaders = cluster.Leaders();
-    for (const net::NodeId leader : leaders) {
-      if (std::find(minority_side.begin(), minority_side.end(), leader) ==
-          minority_side.end()) {
-        contact = leader;
-        break;
-      }
+    net::NodeId contact = cluster.server_ids().front();
+    if (script_->partitioned() && contact == isolated_) {
+      contact = cluster.server_ids()[1];
     }
     cluster.client(kMajorityClient).set_contact(contact);
     return kMajorityClient;
-  };
+  }
 
-  for (const TestEvent& event : test_case) {
+  LocksvcSystem system_;
+  std::optional<StateObserver> observer_;
+  std::optional<PartitionScript> script_;
+  net::NodeId isolated_ = net::kInvalidNode;
+  const std::string lock_ = "L";
+};
+
+struct RaftKvRunnerState : SystemState {
+  std::unique_ptr<SystemState> system;
+  PartitionScript::State script;
+  StateObserver::State observer;
+  net::Group minority_side;
+  bool slept_for_election = false;
+  int value_counter = 0;
+};
+
+class RaftKvRunner : public CaseRunner {
+ public:
+  RaftKvRunner(const raftkv::Options& options, uint64_t seed)
+      : system_(MakeConfig(options, seed)) {
+    raftkv::Cluster& cluster = system_.cluster();
+    initial_leader_ = cluster.WaitForLeader();
+    observer_.emplace(system_, system_.Env().simulator().Trace());
+    cluster.client(kMinorityClient).set_allow_redirect(false);
+    cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(800));
+    cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(800));
+    cluster.client(kAdminClient).set_allow_redirect(false);
+    cluster.client(kAdminClient).set_op_timeout(sim::Milliseconds(800));
+    script_.emplace(cluster.env(), cluster.server_ids());
+  }
+
+  TestEnv& Env() override { return system_.Env(); }
+
+  void ApplyEvent(const TestEvent& event) override {
+    raftkv::Cluster& cluster = system_.cluster();
+    const net::Group servers = cluster.server_ids();
     switch (event.kind) {
       case EventKind::kPartition: {
-        net::NodeId leader = initial_leader;
+        net::NodeId leader = initial_leader_;
         const std::vector<net::NodeId> leaders = cluster.Leaders();
         if (!leaders.empty()) {
           leader = leaders.front();
@@ -442,8 +633,8 @@ ExecutionResult RunRaftKvTestCase(const raftkv::Options& options, const TestCase
           const net::Group others = net::Partitioner::Rest(servers, {leader});
           const net::Group keep = {leader, others[1]};
           const net::Group orphaned = {others[2], others[3]};
-          script.PartitionGroups(PartitionKind::kPartial, orphaned, keep);
-          minority_side = orphaned;
+          script_->PartitionGroups(PartitionKind::kPartial, orphaned, keep);
+          minority_side_ = orphaned;
           cluster.Settle(sim::Milliseconds(100));
           cluster.client(kAdminClient).set_contact(leader);
           cluster.ChangeMembers(kAdminClient, keep);
@@ -451,121 +642,174 @@ ExecutionResult RunRaftKvTestCase(const raftkv::Options& options, const TestCase
         } else {
           const net::NodeId isolated =
               event.target == IsolationTarget::kLeader ? leader : servers.back();
-          script.Partition(event.partition, isolated);
-          minority_side = {isolated};
+          script_->Partition(event.partition, isolated);
+          minority_side_ = {isolated};
         }
-        slept_for_election = false;
+        slept_for_election_ = false;
         break;
       }
       case EventKind::kHeal:
-        script.Heal();
+        script_->Heal();
         break;
       case EventKind::kWrite:
-        cluster.Put(client_for(event.side), key, "v" + std::to_string(++value_counter));
+        cluster.Put(ClientFor(event.side), key_, "v" + std::to_string(++value_counter_));
         break;
       case EventKind::kRead:
-        cluster.Get(client_for(event.side), key);
+        cluster.Get(ClientFor(event.side), key_);
         break;
       case EventKind::kDelete:
-        cluster.Delete(client_for(event.side), key);
+        cluster.Delete(ClientFor(event.side), key_);
         break;
       case EventKind::kLock:
       case EventKind::kUnlock:
         break;  // no lock surface
     }
-    observer.Observe();
+    observer_->Observe();
   }
 
-  if (script.partitioned()) {
-    cluster.Settle(sim::Milliseconds(800));
-    script.Heal();
+  ExecutionResult Finish(const TestCase& test_case) override {
+    raftkv::Cluster& cluster = system_.cluster();
+    ExecutionResult result;
+    result.trace = FormatTestCase(test_case);
+    if (script_->partitioned()) {
+      cluster.Settle(sim::Milliseconds(800));
+      script_->Heal();
+    }
+    cluster.Settle(sim::Seconds(1));
+    observer_->Observe();
+    cluster.client(kMajorityClient).set_contact(cluster.server_ids().front());
+    cluster.Get(kMajorityClient, key_, /*final_read=*/true);
+
+    const check::History& history = cluster.history();
+    auto add = [&result](std::vector<check::Violation> violations) {
+      result.violations.insert(result.violations.end(), violations.begin(), violations.end());
+    };
+    add(check::CheckDirtyReads(history));
+    add(check::CheckDataLoss(history));
+    add(check::CheckReappearance(history));
+    add(check::CheckStaleReads(history));  // raftkv promises strong consistency
+    const check::LinearizabilityResult linearizable = check::CheckLinearizable(history);
+    if (!linearizable.linearizable) {
+      check::Violation violation;
+      violation.impact = "non-linearizable";
+      violation.description = linearizable.reason;
+      result.violations.push_back(std::move(violation));
+    }
+    result.found_failure = !result.violations.empty();
+    result.trace_report = observer_->Report();
+    result.coverage = observer_->Finish();
+    return result;
   }
-  cluster.Settle(sim::Seconds(1));
-  observer.Observe();
-  cluster.client(kMajorityClient).set_contact(servers.front());
-  cluster.Get(kMajorityClient, key, /*final_read=*/true);
 
-  const check::History& history = cluster.history();
-  auto add = [&result](std::vector<check::Violation> violations) {
-    result.violations.insert(result.violations.end(), violations.begin(), violations.end());
-  };
-  add(check::CheckDirtyReads(history));
-  add(check::CheckDataLoss(history));
-  add(check::CheckReappearance(history));
-  add(check::CheckStaleReads(history));  // raftkv promises strong consistency
-  const check::LinearizabilityResult linearizable = check::CheckLinearizable(history);
-  if (!linearizable.linearizable) {
-    check::Violation violation;
-    violation.impact = "non-linearizable";
-    violation.description = linearizable.reason;
-    result.violations.push_back(std::move(violation));
+  std::unique_ptr<SystemState> Snapshot() const override {
+    auto state = std::make_unique<RaftKvRunnerState>();
+    state->system = system_.Snapshot();
+    if (state->system == nullptr) {
+      return nullptr;
+    }
+    state->script = script_->CaptureState();
+    state->observer = observer_->CaptureState();
+    state->minority_side = minority_side_;
+    state->slept_for_election = slept_for_election_;
+    state->value_counter = value_counter_;
+    return state;
   }
-  result.found_failure = !result.violations.empty();
-  result.trace_report = Summarize(cluster.env().simulator().Trace());
-  result.coverage = observer.Finish(cluster.env().simulator().Trace());
-  return result;
-}
 
-ExecutionResult RunMqueueTestCase(const mqueue::Options& options, const TestCase& test_case,
-                                  uint64_t seed) {
-  mqueue::Cluster::Config config;
-  config.options = options;
-  config.num_clients = 2;
-  config.seed = seed;
-  MqueueSystem system(config);
-  mqueue::Cluster& cluster = system.cluster();
-  cluster.Settle(sim::Milliseconds(500));  // first master election via the registry
+  void Restore(const SystemState& state) override {
+    const auto* runner_state = dynamic_cast<const RaftKvRunnerState*>(&state);
+    assert(runner_state != nullptr && "raftkv runner restore needs a raftkv runner state");
+    system_.Restore(*runner_state->system);
+    script_->RestoreState(runner_state->script);
+    observer_->RestoreState(runner_state->observer);
+    minority_side_ = runner_state->minority_side;
+    slept_for_election_ = runner_state->slept_for_election;
+    value_counter_ = runner_state->value_counter;
+  }
 
-  ExecutionResult result;
-  result.trace = FormatTestCase(test_case);
-  StateObserver observer(system);
+ private:
+  static constexpr int kMinorityClient = 0;
+  static constexpr int kMajorityClient = 1;
+  static constexpr int kAdminClient = 2;
 
-  constexpr int kMinorityClient = 0;
-  constexpr int kMajorityClient = 1;
-  cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
-  cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
+  static raftkv::Cluster::Config MakeConfig(const raftkv::Options& options, uint64_t seed) {
+    raftkv::Cluster::Config config;
+    config.options = options;
+    config.num_servers = 5;  // the #5289 topology needs an orphaned pair
+    config.num_clients = 3;
+    config.seed = seed;
+    return config;
+  }
 
-  const std::string queue = "q";
-  // One fully replicated message before any fault: partition-first pruning
-  // leaves no room for a pre-partition enqueue inside the case, but the
-  // double-dequeue flaw needs a message both sides of the cut believe they
-  // hold.
-  cluster.Send(kMajorityClient, queue, "m0");
-  cluster.Settle(sim::Milliseconds(300));
-
-  // The partition universe includes the coordination service, which always
-  // rides the majority side: an isolated master's session expires there
-  // and the survivors elect a replacement (Figure 6).
-  net::Group universe = cluster.broker_ids();
-  universe.push_back(cluster.zk_id());
-  PartitionScript script(cluster.env(), universe);
-  bool slept_for_takeover = false;
-  int value_counter = 0;
-
-  auto client_for = [&](Side side) -> int {
-    if (side == Side::kMinority && script.partitioned()) {
-      cluster.client(kMinorityClient).set_contact(script.isolated());
+  int ClientFor(Side side) {
+    raftkv::Cluster& cluster = system_.cluster();
+    if (side == Side::kMinority && script_->partitioned() && !minority_side_.empty()) {
+      cluster.client(kMinorityClient).set_contact(minority_side_.front());
       return kMinorityClient;
     }
-    if (script.partitioned() && !slept_for_takeover) {
-      // Wait out the session timeout so the surviving brokers take over.
-      cluster.Settle(sim::Milliseconds(800));
-      slept_for_takeover = true;
+    if (script_->partitioned() && !slept_for_election_) {
+      cluster.Settle(sim::Milliseconds(700));
+      slept_for_election_ = true;
     }
-    net::NodeId contact = cluster.MasterPerRegistry();
-    if (contact == net::kInvalidNode || contact == script.isolated()) {
-      for (const net::NodeId broker : cluster.broker_ids()) {
-        if (broker != script.isolated()) {
-          contact = broker;
-          break;
-        }
+    net::NodeId contact = initial_leader_;
+    const std::vector<net::NodeId> leaders = cluster.Leaders();
+    for (const net::NodeId leader : leaders) {
+      if (std::find(minority_side_.begin(), minority_side_.end(), leader) ==
+          minority_side_.end()) {
+        contact = leader;
+        break;
       }
     }
     cluster.client(kMajorityClient).set_contact(contact);
     return kMajorityClient;
-  };
+  }
 
-  for (const TestEvent& event : test_case) {
+  RaftKvSystem system_;
+  std::optional<StateObserver> observer_;
+  std::optional<PartitionScript> script_;
+  net::NodeId initial_leader_ = net::kInvalidNode;  // fixed after setup
+  // The nodes cut off by the current partition; minority-side client
+  // events contact its first member.
+  net::Group minority_side_;
+  bool slept_for_election_ = false;
+  int value_counter_ = 0;
+  const std::string key_ = "k";
+};
+
+struct MqueueRunnerState : SystemState {
+  std::unique_ptr<SystemState> system;
+  PartitionScript::State script;
+  StateObserver::State observer;
+  bool slept_for_takeover = false;
+  int value_counter = 0;
+};
+
+class MqueueRunner : public CaseRunner {
+ public:
+  MqueueRunner(const mqueue::Options& options, uint64_t seed)
+      : system_(MakeConfig(options, seed)) {
+    mqueue::Cluster& cluster = system_.cluster();
+    cluster.Settle(sim::Milliseconds(500));  // first master election via the registry
+    observer_.emplace(system_, system_.Env().simulator().Trace());
+    cluster.client(kMinorityClient).set_op_timeout(sim::Milliseconds(500));
+    cluster.client(kMajorityClient).set_op_timeout(sim::Milliseconds(500));
+    // One fully replicated message before any fault: partition-first pruning
+    // leaves no room for a pre-partition enqueue inside the case, but the
+    // double-dequeue flaw needs a message both sides of the cut believe they
+    // hold.
+    cluster.Send(kMajorityClient, queue_, "m0");
+    cluster.Settle(sim::Milliseconds(300));
+    // The partition universe includes the coordination service, which always
+    // rides the majority side: an isolated master's session expires there
+    // and the survivors elect a replacement (Figure 6).
+    net::Group universe = cluster.broker_ids();
+    universe.push_back(cluster.zk_id());
+    script_.emplace(cluster.env(), universe);
+  }
+
+  TestEnv& Env() override { return system_.Env(); }
+
+  void ApplyEvent(const TestEvent& event) override {
+    mqueue::Cluster& cluster = system_.cluster();
     switch (event.kind) {
       case EventKind::kPartition: {
         net::NodeId isolated = cluster.MasterPerRegistry();
@@ -577,58 +821,188 @@ ExecutionResult RunMqueueTestCase(const mqueue::Options& options, const TestCase
             }
           }
         }
-        script.Partition(event.partition, isolated);
-        slept_for_takeover = false;
+        script_->Partition(event.partition, isolated);
+        slept_for_takeover_ = false;
         break;
       }
       case EventKind::kHeal:
-        script.Heal();
+        script_->Heal();
         break;
       case EventKind::kWrite:
-        cluster.Send(client_for(event.side), queue, "m" + std::to_string(++value_counter));
+        cluster.Send(ClientFor(event.side), queue_, "m" + std::to_string(++value_counter_));
         break;
       case EventKind::kRead:
-        cluster.Receive(client_for(event.side), queue);
+        cluster.Receive(ClientFor(event.side), queue_);
         break;
       default:
         break;  // no KV/lock surface
     }
-    observer.Observe();
+    observer_->Observe();
   }
 
-  if (script.partitioned()) {
-    cluster.Settle(sim::Milliseconds(800));
-    script.Heal();
-  }
-  cluster.Settle(sim::Seconds(1));
-  observer.Observe();
-
-  // Drain the healed cluster's queue so the lost-message checker sees the
-  // final state; drained values also complete the double-dequeue pattern.
-  net::NodeId master = cluster.MasterPerRegistry();
-  if (master == net::kInvalidNode) {
-    master = cluster.broker_ids().front();
-  }
-  cluster.client(kMajorityClient).set_contact(master);
-  for (int i = 0; i < 8; ++i) {
-    const check::Operation drained =
-        cluster.Receive(kMajorityClient, queue, /*final_drain=*/true);
-    if (drained.status != check::OpStatus::kOk || drained.value.empty()) {
-      break;
+  ExecutionResult Finish(const TestCase& test_case) override {
+    mqueue::Cluster& cluster = system_.cluster();
+    ExecutionResult result;
+    result.trace = FormatTestCase(test_case);
+    if (script_->partitioned()) {
+      cluster.Settle(sim::Milliseconds(800));
+      script_->Heal();
     }
-  }
-  observer.Observe();
+    cluster.Settle(sim::Seconds(1));
+    observer_->Observe();
 
-  const check::History& history = cluster.history();
-  auto add = [&result](std::vector<check::Violation> violations) {
-    result.violations.insert(result.violations.end(), violations.begin(), violations.end());
+    // Drain the healed cluster's queue so the lost-message checker sees the
+    // final state; drained values also complete the double-dequeue pattern.
+    net::NodeId master = cluster.MasterPerRegistry();
+    if (master == net::kInvalidNode) {
+      master = cluster.broker_ids().front();
+    }
+    cluster.client(kMajorityClient).set_contact(master);
+    for (int i = 0; i < 8; ++i) {
+      const check::Operation drained =
+          cluster.Receive(kMajorityClient, queue_, /*final_drain=*/true);
+      if (drained.status != check::OpStatus::kOk || drained.value.empty()) {
+        break;
+      }
+    }
+    observer_->Observe();
+
+    const check::History& history = cluster.history();
+    auto add = [&result](std::vector<check::Violation> violations) {
+      result.violations.insert(result.violations.end(), violations.begin(), violations.end());
+    };
+    add(check::CheckDoubleDequeue(history));
+    add(check::CheckLostMessages(history));
+    result.found_failure = !result.violations.empty();
+    result.trace_report = observer_->Report();
+    result.coverage = observer_->Finish();
+    return result;
+  }
+
+  std::unique_ptr<SystemState> Snapshot() const override {
+    auto state = std::make_unique<MqueueRunnerState>();
+    state->system = system_.Snapshot();
+    if (state->system == nullptr) {
+      return nullptr;
+    }
+    state->script = script_->CaptureState();
+    state->observer = observer_->CaptureState();
+    state->slept_for_takeover = slept_for_takeover_;
+    state->value_counter = value_counter_;
+    return state;
+  }
+
+  void Restore(const SystemState& state) override {
+    const auto* runner_state = dynamic_cast<const MqueueRunnerState*>(&state);
+    assert(runner_state != nullptr && "mqueue runner restore needs an mqueue runner state");
+    system_.Restore(*runner_state->system);
+    script_->RestoreState(runner_state->script);
+    observer_->RestoreState(runner_state->observer);
+    slept_for_takeover_ = runner_state->slept_for_takeover;
+    value_counter_ = runner_state->value_counter;
+  }
+
+ private:
+  static constexpr int kMinorityClient = 0;
+  static constexpr int kMajorityClient = 1;
+
+  static mqueue::Cluster::Config MakeConfig(const mqueue::Options& options, uint64_t seed) {
+    mqueue::Cluster::Config config;
+    config.options = options;
+    config.num_clients = 2;
+    config.seed = seed;
+    return config;
+  }
+
+  int ClientFor(Side side) {
+    mqueue::Cluster& cluster = system_.cluster();
+    if (side == Side::kMinority && script_->partitioned()) {
+      cluster.client(kMinorityClient).set_contact(script_->isolated());
+      return kMinorityClient;
+    }
+    if (script_->partitioned() && !slept_for_takeover_) {
+      // Wait out the session timeout so the surviving brokers take over.
+      cluster.Settle(sim::Milliseconds(800));
+      slept_for_takeover_ = true;
+    }
+    net::NodeId contact = cluster.MasterPerRegistry();
+    if (contact == net::kInvalidNode || contact == script_->isolated()) {
+      for (const net::NodeId broker : cluster.broker_ids()) {
+        if (broker != script_->isolated()) {
+          contact = broker;
+          break;
+        }
+      }
+    }
+    cluster.client(kMajorityClient).set_contact(contact);
+    return kMajorityClient;
+  }
+
+  MqueueSystem system_;
+  std::optional<StateObserver> observer_;
+  std::optional<PartitionScript> script_;
+  bool slept_for_takeover_ = false;
+  int value_counter_ = 0;
+  const std::string queue_ = "q";
+};
+
+// Drives a fresh runner straight through a case — the classic full-replay
+// execution the Run*TestCase functions promise.
+template <typename Runner, typename... Args>
+ExecutionResult RunStraightThrough(const TestCase& test_case, Args&&... args) {
+  Runner runner(std::forward<Args>(args)...);
+  for (const TestEvent& event : test_case) {
+    runner.ApplyEvent(event);
+  }
+  return runner.Finish(test_case);
+}
+
+}  // namespace
+
+ExecutionResult RunPbkvTestCase(const pbkv::Options& options, const TestCase& test_case,
+                                uint64_t seed, bool strong) {
+  return RunStraightThrough<PbkvRunner>(test_case, options, seed, strong);
+}
+
+ExecutionResult RunLocksvcTestCase(const locksvc::Options& options, const TestCase& test_case,
+                                   uint64_t seed) {
+  return RunStraightThrough<LocksvcRunner>(test_case, options, seed);
+}
+
+ExecutionResult RunRaftKvTestCase(const raftkv::Options& options, const TestCase& test_case,
+                                  uint64_t seed) {
+  return RunStraightThrough<RaftKvRunner>(test_case, options, seed);
+}
+
+ExecutionResult RunMqueueTestCase(const mqueue::Options& options, const TestCase& test_case,
+                                  uint64_t seed) {
+  return RunStraightThrough<MqueueRunner>(test_case, options, seed);
+}
+
+// --- fork-executor runner factories ---
+
+RunnerFactory PbkvRunnerFactory(const pbkv::Options& options, bool strong) {
+  return [options, strong](uint64_t seed) -> std::unique_ptr<CaseRunner> {
+    return std::make_unique<PbkvRunner>(options, seed, strong);
   };
-  add(check::CheckDoubleDequeue(history));
-  add(check::CheckLostMessages(history));
-  result.found_failure = !result.violations.empty();
-  result.trace_report = Summarize(cluster.env().simulator().Trace());
-  result.coverage = observer.Finish(cluster.env().simulator().Trace());
-  return result;
+}
+
+RunnerFactory LocksvcRunnerFactory(const locksvc::Options& options) {
+  return [options](uint64_t seed) -> std::unique_ptr<CaseRunner> {
+    return std::make_unique<LocksvcRunner>(options, seed);
+  };
+}
+
+RunnerFactory RaftKvRunnerFactory(const raftkv::Options& options) {
+  return [options](uint64_t seed) -> std::unique_ptr<CaseRunner> {
+    return std::make_unique<RaftKvRunner>(options, seed);
+  };
+}
+
+RunnerFactory MqueueRunnerFactory(const mqueue::Options& options) {
+  return [options](uint64_t seed) -> std::unique_ptr<CaseRunner> {
+    return std::make_unique<MqueueRunner>(options, seed);
+  };
 }
 
 // --- system factories ---
@@ -710,7 +1084,7 @@ CaseExecutor StatusProbeExecutor(SystemFactory factory) {
 
     ExecutionResult result;
     result.trace = FormatTestCase(test_case);
-    StateObserver observer(*system);
+    StateObserver observer(*system, env.simulator().Trace());
 
     PartitionScript script(env, system->Servers());
     const net::NodeId isolated = system->Servers().back();
@@ -742,8 +1116,8 @@ CaseExecutor StatusProbeExecutor(SystemFactory factory) {
       result.violations.push_back(std::move(violation));
     }
     result.found_failure = !result.violations.empty();
-    result.trace_report = Summarize(env.simulator().Trace());
-    result.coverage = observer.Finish(env.simulator().Trace());
+    result.trace_report = observer.Report();
+    result.coverage = observer.Finish();
     return result;
   };
 }

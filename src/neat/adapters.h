@@ -14,6 +14,7 @@
 
 #include "check/checkers.h"
 #include "neat/campaign.h"
+#include "neat/fork.h"
 #include "neat/system.h"
 #include "neat/testgen.h"
 #include "systems/locksvc/cluster.h"
@@ -33,7 +34,10 @@ class PbkvSystem : public ISystem {
   bool GetStatus() override { return cluster_.FindPrimary() != net::kInvalidNode; }
   uint64_t StateDigest() const override;  // who is primary
   void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
+  std::unique_ptr<SystemState> Snapshot() const override;
+  void Restore(const SystemState& state) override;
   pbkv::Cluster& cluster() { return cluster_; }
+  const pbkv::Cluster& cluster() const { return cluster_; }
 
  private:
   pbkv::Cluster cluster_;
@@ -48,7 +52,10 @@ class RaftKvSystem : public ISystem {
   bool GetStatus() override { return !cluster_.Leaders().empty(); }
   uint64_t StateDigest() const override;  // the set of self-believed leaders
   void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
+  std::unique_ptr<SystemState> Snapshot() const override;
+  void Restore(const SystemState& state) override;
   raftkv::Cluster& cluster() { return cluster_; }
+  const raftkv::Cluster& cluster() const { return cluster_; }
 
  private:
   raftkv::Cluster cluster_;
@@ -66,7 +73,12 @@ class LocksvcSystem : public ISystem {
   // directly instead.
   uint64_t StateDigest() const override;
   void Shutdown() override { cluster_.env().Crash(cluster_.server_ids()); }
+  // The snapshot includes the status-probe counter: probe lock names land
+  // in the history, so a forked run must reuse the same sequence.
+  std::unique_ptr<SystemState> Snapshot() const override;
+  void Restore(const SystemState& state) override;
   locksvc::Cluster& cluster() { return cluster_; }
+  const locksvc::Cluster& cluster() const { return cluster_; }
 
  private:
   locksvc::Cluster cluster_;
@@ -83,7 +95,10 @@ class MqueueSystem : public ISystem {
   bool GetStatus() override { return cluster_.MasterPerRegistry() != net::kInvalidNode; }
   uint64_t StateDigest() const override;  // registry master + self-believed masters
   void Shutdown() override { cluster_.env().Crash(cluster_.broker_ids()); }
+  std::unique_ptr<SystemState> Snapshot() const override;
+  void Restore(const SystemState& state) override;
   mqueue::Cluster& cluster() { return cluster_; }
+  const mqueue::Cluster& cluster() const { return cluster_; }
 
  private:
   mqueue::Cluster cluster_;
@@ -131,6 +146,17 @@ CaseExecutor PbkvCaseExecutor(const pbkv::Options& options, bool strong = true);
 CaseExecutor LocksvcCaseExecutor(const locksvc::Options& options);
 CaseExecutor RaftKvCaseExecutor(const raftkv::Options& options);
 CaseExecutor MqueueCaseExecutor(const mqueue::Options& options);
+
+// --- fork-executor runner factories (neat/fork.h) ---
+//
+// Each factory builds the same runner the Run*TestCase executors drive,
+// exposed step by step so a ForkingExecutor can snapshot between events
+// and fork suffixes off shared prefixes. A forked run is byte-identical to
+// the corresponding Run*TestCase replay.
+RunnerFactory PbkvRunnerFactory(const pbkv::Options& options, bool strong = true);
+RunnerFactory LocksvcRunnerFactory(const locksvc::Options& options);
+RunnerFactory RaftKvRunnerFactory(const raftkv::Options& options);
+RunnerFactory MqueueRunnerFactory(const mqueue::Options& options);
 
 // A system-agnostic executor over any SystemFactory: it drives only the
 // partition/heal events of the test case (client events need a concrete

@@ -77,9 +77,14 @@ void MinimizeFailures(CampaignResult* result, const CaseExecutor& executor,
                 if (i >= representatives.size()) {
                   break;
                 }
+                // One session per minimization: ddmin probes of one case
+                // differ by a dropped chunk, so a forking session replays
+                // their shared prefixes from snapshots (neat/fork.h).
+                const CaseExecutor session =
+                    options.sessions ? options.sessions() : CaseExecutor{};
                 result->minimized[i] = MinimizeCase(
-                    representatives[i]->test_case, representatives[i]->seed, executor,
-                    options.minimize);
+                    representatives[i]->test_case, representatives[i]->seed,
+                    session ? session : executor, options.minimize);
               }
             });
 }
@@ -99,6 +104,12 @@ struct SweepState {
   int threads = 1;
   int seeds = 1;
   uint64_t total_runs = 0;  // 0 = unknown
+  // Per-worker executor sessions (CampaignOptions::sessions), one per
+  // shard, built once per campaign. Living here rather than in SweepInto
+  // keeps each worker's session — and any prefix snapshots it carries —
+  // alive across a guided campaign's batches, where cross-round prefix
+  // reuse pays the most. Empty when the campaign runs a shared executor.
+  std::vector<CaseExecutor> sessions;
   std::mutex progress_mutex;
   // Both guarded by progress_mutex: snapshotting them together under the
   // callback's lock is what makes the observed (done, failures) pairs
@@ -107,6 +118,18 @@ struct SweepState {
   uint64_t progress_done = 0;
   uint64_t progress_failures = 0;
 };
+
+// Builds one executor session per worker when the campaign asked for them
+// (CampaignOptions::sessions); otherwise leaves the shared-executor path.
+void BuildSessions(SweepState* state, const CampaignOptions& options) {
+  if (!options.sessions) {
+    return;
+  }
+  state->sessions.reserve(static_cast<size_t>(state->threads));
+  for (int i = 0; i < state->threads; ++i) {
+    state->sessions.push_back(options.sessions());
+  }
+}
 
 // Executes every case `next_case` yields (all seeds each) on the worker
 // pool and appends the runs to `out`, sorted by (case_index, seed).
@@ -121,6 +144,8 @@ void SweepInto(SweepState* state, const std::function<bool(WorkItem*)>& next_cas
   std::vector<std::vector<CaseResult>> shards(static_cast<size_t>(state->threads));
 
   auto worker = [&](int shard) {
+    const CaseExecutor& run_case =
+        state->sessions.empty() ? executor : state->sessions[static_cast<size_t>(shard)];
     WorkItem item;
     for (;;) {
       {
@@ -131,7 +156,7 @@ void SweepInto(SweepState* state, const std::function<bool(WorkItem*)>& next_cas
       }
       for (int seed = 1; seed <= state->seeds; ++seed) {
         const Clock::time_point case_start = Clock::now();
-        ExecutionResult run = executor(item.test_case, static_cast<uint64_t>(seed));
+        ExecutionResult run = run_case(item.test_case, static_cast<uint64_t>(seed));
         CaseResult result;
         result.case_index = item.index;
         result.seed = static_cast<uint64_t>(seed);
@@ -198,6 +223,7 @@ CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
   state.seeds = std::max(1, options.seeds);
   state.threads = ResolveThreads(options.threads);
   state.total_runs = total_cases * static_cast<uint64_t>(state.seeds);
+  BuildSessions(&state, options);
 
   const Clock::time_point campaign_start = Clock::now();
   CampaignResult result;
@@ -213,6 +239,15 @@ CampaignResult RunWithSource(const std::function<bool(WorkItem*)>& next_case,
   result.wall_seconds = MicrosSince(campaign_start) / 1e6;
   return result;
 }
+
+// The guided loop body, with the pruned-space size supplied by the caller:
+// the streaming RunCampaign already walks the space once for its progress
+// total, and this avoids counting it a second time for the seed-schedule
+// stride. `space` must be generator.CountUpTo(max_length, rules,
+// kPrecountLimit) for the same (max_length, rules).
+CampaignResult RunGuidedWithSpace(const TestCaseGenerator& generator, int max_length,
+                                  const PruningRules& rules, const CaseExecutor& executor,
+                                  const CampaignOptions& options, uint64_t space);
 
 }  // namespace
 
@@ -313,15 +348,19 @@ CampaignResult RunCampaign(const std::vector<TestCase>& suite, const CaseExecuto
 CampaignResult RunCampaign(const TestCaseGenerator& generator, int max_length,
                            const PruningRules& rules, const CaseExecutor& executor,
                            const CampaignOptions& options) {
+  // Pre-count the suite: the count streams the pruned space without
+  // materializing it, and bails out (to 0, "unknown") when the space
+  // reaches kPrecountLimit cases. One walk serves both consumers — the
+  // progress observer's total and guided mode's seed-schedule stride —
+  // where previously guided campaigns with a progress observer counted
+  // the space once for each. With neither consumer the count is never
+  // read, so skip the walk.
+  const uint64_t space = (options.progress || options.guided)
+                             ? generator.CountUpTo(max_length, rules, kPrecountLimit)
+                             : 0;
   if (options.guided) {
-    return RunGuidedCampaign(generator, max_length, rules, executor, options);
+    return RunGuidedWithSpace(generator, max_length, rules, executor, options, space);
   }
-  // Pre-count the suite so progress observers get a real total: the count
-  // streams the pruned space without materializing it, and bails out (to
-  // total == 0, "unknown") when the space reaches kPrecountLimit cases.
-  // Without an observer the total is never read, so skip the walk.
-  const uint64_t total =
-      options.progress ? generator.CountUpTo(max_length, rules, kPrecountLimit) : 0;
   TestCaseGenerator::Cursor cursor = generator.MakeCursorUpTo(max_length, rules);
   uint64_t next = 0;
   const auto source = [&cursor, &next](WorkItem* item) {
@@ -331,16 +370,19 @@ CampaignResult RunCampaign(const TestCaseGenerator& generator, int max_length,
     item->index = next++;
     return true;
   };
-  return RunWithSource(source, executor, options, total);
+  return RunWithSource(source, executor, options, space);
 }
 
-CampaignResult RunGuidedCampaign(const TestCaseGenerator& generator, int max_length,
-                                 const PruningRules& rules, const CaseExecutor& executor,
-                                 const CampaignOptions& options) {
+namespace {
+
+CampaignResult RunGuidedWithSpace(const TestCaseGenerator& generator, int max_length,
+                                  const PruningRules& rules, const CaseExecutor& executor,
+                                  const CampaignOptions& options, uint64_t space) {
   SweepState state;
   state.seeds = std::max(1, options.seeds);
   state.threads = ResolveThreads(options.threads);
   state.total_runs = 0;  // open-ended: the loop decides how many runs happen
+  BuildSessions(&state, options);
 
   const Clock::time_point campaign_start = Clock::now();
   CampaignResult result;
@@ -354,8 +396,8 @@ CampaignResult RunGuidedCampaign(const TestCaseGenerator& generator, int max_len
 
   // Seed schedule: a stride over the pruned enumeration, so the starting
   // corpus samples the whole space (short and long cases, every partition
-  // variant) instead of the lexicographic prefix.
-  const uint64_t space = generator.CountUpTo(max_length, rules, kPrecountLimit);
+  // variant) instead of the lexicographic prefix. The caller supplies the
+  // space count (one shared walk, see RunCampaign).
   const uint64_t stride = space > seed_target ? space / seed_target : 1;
   std::vector<TestCase> batch;
   std::set<std::string> scheduled;  // dedup key: the faithful textual form
@@ -456,6 +498,15 @@ CampaignResult RunGuidedCampaign(const TestCaseGenerator& generator, int max_len
   }
   result.wall_seconds = MicrosSince(campaign_start) / 1e6;
   return result;
+}
+
+}  // namespace
+
+CampaignResult RunGuidedCampaign(const TestCaseGenerator& generator, int max_length,
+                                 const PruningRules& rules, const CaseExecutor& executor,
+                                 const CampaignOptions& options) {
+  return RunGuidedWithSpace(generator, max_length, rules, executor, options,
+                            generator.CountUpTo(max_length, rules, kPrecountLimit));
 }
 
 }  // namespace neat

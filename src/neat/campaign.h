@@ -57,6 +57,16 @@ struct CampaignOptions {
   // the worker pool. Results land in CampaignResult::minimized.
   bool minimize_failures = false;
   MinimizeOptions minimize;
+  // Optional per-worker executor sessions (neat/execution.h). When set,
+  // every worker thread builds one session up front and runs all of its
+  // cases through it — for the whole campaign, across guided rounds — and
+  // each triage minimization gets its own session. Sessions may keep
+  // mutable state between calls (the fork executor's snapshot caches,
+  // neat/fork.h), which is why they are per-worker: the campaign's
+  // parallel==serial byte-identity holds because session state may change
+  // how fast a run executes, never its verdict. When unset, all workers
+  // share `executor` as before.
+  SessionFactory sessions;
 
   // --- coverage-guided mode (opt-in feedback loop) ---
   // When set, the streaming RunCampaign overload runs a fuzzing loop

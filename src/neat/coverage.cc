@@ -1,25 +1,11 @@
 #include "neat/coverage.h"
 
 #include <cstdio>
-#include <set>
 #include <sstream>
 
+#include "neat/trace_scan.h"
+
 namespace neat {
-namespace {
-
-// The second whitespace-separated token of a net "drop" detail
-// ("3->1 pbkv.Replicate (partitioned at send)") — the message type.
-std::string DroppedMessageType(const std::string& detail) {
-  const size_t first_space = detail.find(' ');
-  if (first_space == std::string::npos) {
-    return detail;
-  }
-  const size_t start = first_space + 1;
-  const size_t end = detail.find(' ', start);
-  return detail.substr(start, end == std::string::npos ? std::string::npos : end - start);
-}
-
-}  // namespace
 
 size_t CoverageMap::Add(const std::vector<std::string>& features) {
   size_t unseen = 0;
@@ -65,34 +51,13 @@ std::string CoverageMap::Digest() const {
 }
 
 std::vector<std::string> TraceCoverage(const sim::TraceLog& trace) {
-  std::set<std::string> features;
-  for (const auto& [a, b] : trace.EventBigrams()) {
-    features.insert("bi:" + a + ">" + b);
-  }
-  // Partition-phase edges: 'b' before the first injected partition, 'p'
-  // while one is installed, 'h' after a heal. The phase markers are the
-  // "neat" records the executors' PartitionScript appends.
-  char phase = 'b';
-  for (const sim::TraceRecord& record : trace.records()) {
-    if (record.component == "neat") {
-      if (record.event == "partition") {
-        phase = 'p';
-      } else if (record.event == "heal") {
-        phase = 'h';
-      }
-      continue;
-    }
-    if (record.component == "net") {
-      if (record.event == "drop") {
-        features.insert(std::string("ph:") + phase + ":" + DroppedMessageType(record.detail));
-      }
-      continue;
-    }
-    // System-level records (elections, step-downs, session expiries):
-    // the event name by phase.
-    features.insert(std::string("ph:") + phase + ":" + record.event);
-  }
-  return std::vector<std::string>(features.begin(), features.end());
+  // One-shot form of the incremental fold (neat/trace_scan.h): the "bi:"
+  // event bigrams plus the "ph:" partition-phase edges — 'b' before the
+  // first injected partition, 'p' while one is installed, 'h' after a heal,
+  // keyed off the "neat" phase markers PartitionScript appends.
+  TraceScan scan;
+  scan.Advance(trace);
+  return scan.Features();
 }
 
 std::string StateTransitionFeature(uint64_t before, uint64_t after) {

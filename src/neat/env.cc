@@ -58,6 +58,36 @@ void TestEnv::Restart(const net::Group& nodes) {
 
 void TestEnv::Sleep(sim::Duration duration) { simulator_.RunFor(duration); }
 
+TestEnv::State TestEnv::Snapshot() const {
+  State state;
+  state.simulator = simulator_.Snapshot();
+  state.network = network_->CaptureState();
+  state.rules = backend_->CaptureRules();
+  state.next_partition_id = partitioner_->next_partition_id();
+  state.history = history_.CaptureState();
+  for (const auto& [node, process] : processes_) {
+    state.kernels.emplace(node, process->CaptureKernel());
+  }
+  return state;
+}
+
+void TestEnv::Restore(const State& state) {
+  // Rules before kernels: RestoreKernel re-registers network handlers, and
+  // registration must see the restored topology, not the abandoned one.
+  backend_->RestoreRules(*state.rules);
+  partitioner_->set_next_partition_id(state.next_partition_id);
+  network_->RestoreState(state.network);
+  for (const auto& [node, kernel] : state.kernels) {
+    if (cluster::Process* process = FindProcess(node)) {
+      process->RestoreKernel(kernel);
+    }
+  }
+  history_.RestoreState(state.history);
+  // The simulator last: its checkpoint rewinds the clock and the retained
+  // event set that the restored processes' timers live in.
+  simulator_.Restore(state.simulator);
+}
+
 bool TestEnv::Await(const std::function<bool()>& done, sim::Duration deadline_from_now) {
   return simulator_.RunUntilPredicate(done, simulator_.Now() + deadline_from_now);
 }

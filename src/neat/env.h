@@ -75,6 +75,28 @@ class TestEnv {
   bool Await(const std::function<bool()>& done,
              sim::Duration deadline_from_now = sim::Seconds(5));
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  //
+  // Everything the environment owns: the simulator checkpoint, the
+  // network's value state, the partition backend's rule table, the
+  // partition-handle counter, the operation history, and each registered
+  // process's kernel incarnation. Captured at quiescent points (between
+  // script steps, never mid-event) and restorable only onto this same env —
+  // retained event closures point at the processes registered here. The
+  // registered process set itself must be identical at capture and restore
+  // time; process-subclass state is the system adapter's responsibility
+  // (ISystem::Snapshot), not the env's.
+  struct State {
+    sim::Simulator::Checkpoint simulator;
+    net::Network::State network;
+    std::unique_ptr<net::PartitionBackend::RulesSnapshot> rules;
+    uint64_t next_partition_id = 1;
+    check::History::State history;
+    std::map<net::NodeId, cluster::Process::KernelState> kernels;
+  };
+  State Snapshot() const;
+  void Restore(const State& state);
+
  private:
   sim::Simulator simulator_;
   std::unique_ptr<net::PartitionBackend> backend_;

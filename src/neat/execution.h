@@ -42,6 +42,15 @@ struct ExecutionResult {
 // shrink decisions both rest on this.
 using CaseExecutor = std::function<ExecutionResult(const TestCase& test_case, uint64_t seed)>;
 
+// Builds one executor per campaign worker (and one per triage
+// minimization). Unlike a bare CaseExecutor — which workers share and may
+// invoke concurrently — each session is only ever called from the worker it
+// was built for, so sessions may keep mutable state across calls (e.g. the
+// snapshot caches of the fork executor, neat/fork.h). Sessions must still
+// honour the determinism contract above: state carried between calls may
+// change how fast a run executes, never what it returns.
+using SessionFactory = std::function<CaseExecutor()>;
+
 // The deduplication key for a failing run: the sorted set of distinct
 // violation impacts, joined with '+' (e.g. "dirty read+stale read").
 // Empty for a passing run.

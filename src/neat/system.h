@@ -13,12 +13,25 @@
 #define NEAT_SYSTEM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "neat/env.h"
 #include "net/message.h"
 
 namespace neat {
+
+// Opaque value snapshot of a system's complete state — environment plus
+// every server/client process — taken at a quiescent point (no handler
+// mid-flight; in practice: between test events, while the simulator is not
+// running). Concrete systems derive their own state type; holders only
+// ever pass it back to Restore on the same instance. Snapshots are plain
+// values: they must not capture live closures or pointers into the heap of
+// the system that produced them (the simulator checkpoint stores event ids,
+// not callbacks — see sim::Simulator::Checkpoint).
+struct SystemState {
+  virtual ~SystemState() = default;
+};
 
 class ISystem {
  public:
@@ -49,6 +62,23 @@ class ISystem {
 
   // Crashes every server node.
   virtual void Shutdown() = 0;
+
+  // Captures the full system state at a quiescent point so a later Restore
+  // can rewind this instance instead of re-executing the prefix that led
+  // here (the fork executor, neat/fork.h). Requires the environment
+  // simulator to have event retention enabled before the events being
+  // rewound over were scheduled (sim::Simulator::SetEventRetention).
+  // Returns nullptr when the system does not support snapshotting; callers
+  // must then fall back to full replay. The method is const by contract —
+  // like StateDigest, a snapshot must not perturb the run (detlint's
+  // snapshot-nonconst rule enforces this).
+  virtual std::unique_ptr<SystemState> Snapshot() const { return nullptr; }
+
+  // Rewinds this instance to a state previously captured by Snapshot() on
+  // the same instance. Only ever called with states this system produced;
+  // the default (for systems whose Snapshot returns nullptr) is unreachable
+  // by that contract and does nothing.
+  virtual void Restore(const SystemState& state) { (void)state; }
 };
 
 }  // namespace neat

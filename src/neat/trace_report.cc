@@ -3,36 +3,15 @@
 #include <algorithm>
 #include <sstream>
 
+#include "neat/trace_scan.h"
+
 namespace neat {
-namespace {
-
-// The events that describe leadership movement across the model systems.
-bool IsLeadershipEvent(const std::string& event) {
-  return event == "election-start" || event == "elected" || event == "step-down" ||
-         event == "election-timeout" || event == "vote" || event == "master" ||
-         event == "resign" || event == "demoted";
-}
-
-}  // namespace
 
 TraceReport Summarize(const sim::TraceLog& trace) {
-  TraceReport report;
-  report.total_records = trace.size();
-  for (const sim::TraceRecord& record : trace.records()) {
-    ++report.event_counts[record.event];
-    if (record.component == "net" && record.event == "drop") {
-      // Detail looks like "3->1 pbkv.Replicate (partitioned at send)". A
-      // detail with no space separator still counts — under the raw detail
-      // — so the per-link totals always sum to event_counts["drop"].
-      const size_t space = record.detail.find(' ');
-      ++report.drops_per_link[space == std::string::npos ? record.detail
-                                                         : record.detail.substr(0, space)];
-    }
-    if (IsLeadershipEvent(record.event)) {
-      report.leadership_events.push_back(record);
-    }
-  }
-  return report;
+  // One-shot form of the incremental fold (neat/trace_scan.h).
+  TraceScan scan;
+  scan.Advance(trace);
+  return scan.Report(trace);
 }
 
 std::string FormatReport(const TraceReport& report) {

@@ -17,10 +17,12 @@ namespace neat {
 
 struct TraceReport {
   // Total records, by event name ("drop", "elected", "step-down", ...).
-  std::map<std::string, size_t> event_counts;
+  // Transparent comparators let Summarize probe with string_views parsed
+  // out of record details without materializing a key per record.
+  std::map<std::string, size_t, std::less<>> event_counts;
   // Dropped messages per directed link, parsed from the network's drop
   // records ("3->1 pbkv.Replicate (partitioned at send)").
-  std::map<std::string, size_t> drops_per_link;
+  std::map<std::string, size_t, std::less<>> drops_per_link;
   // The leadership timeline: every election/step-down record in order.
   std::vector<sim::TraceRecord> leadership_events;
   size_t total_records = 0;

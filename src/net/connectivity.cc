@@ -57,6 +57,17 @@ void ConnectivityCache::SetBit(int src_index, int dst_index, bool allowed) {
   }
 }
 
+void ConnectivityCache::Resync() {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (size_t j = 0; j < nodes_.size(); ++j) {
+      SetBit(static_cast<int>(i), static_cast<int>(j),
+             backend_->Allows(nodes_[i], nodes_[j]));
+    }
+  }
+  synced_epoch_ = backend_->epoch();
+  ++full_rebuilds_;
+}
+
 bool ConnectivityCache::Allows(NodeId src, NodeId dst) const {
   if (src == dst) {
     return true;

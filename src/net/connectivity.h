@@ -49,10 +49,17 @@ class ConnectivityCache {
   // the cache is coherent.
   uint64_t synced_epoch() const { return synced_epoch_; }
 
-  // Introspection for tests and benches. full_rebuilds() stays 0 in the
-  // current design — node registration and rule patching are both
-  // incremental — and is regression-checked so an O(N^2) rebuild cannot
-  // silently return.
+  // Re-derives every tracked pair from the backend's authoritative verdict.
+  // Incremental patching covers ordinary Block/Unblock traffic; Resync is
+  // for wholesale rule-table replacement (snapshot restore), where there is
+  // no per-rule delta to patch from. O(N^2) backend queries.
+  void Resync();
+
+  // Introspection for tests and benches. full_rebuilds() stays 0 during
+  // incremental operation — node registration and rule patching never
+  // rebuild, which is regression-checked so an O(N^2) rebuild cannot
+  // silently return to the hot path. Only Resync() (snapshot restore)
+  // increments it.
   uint64_t full_rebuilds() const { return full_rebuilds_; }
   uint64_t patched_pairs() const { return patched_pairs_; }
   uint64_t fallback_queries() const { return fallback_queries_; }

@@ -91,6 +91,35 @@ class Network {
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  //
+  // Value state of the network itself: the private RNG substream, the
+  // latency/loss configuration, and the message counters. Handlers are NOT
+  // captured — they are closures over live processes, and Process kernel
+  // restore re-registers or detaches them. The connectivity cache is not
+  // captured either: restoring the partition backend's rules re-syncs it
+  // (PartitionBackend::RestoreRules notifies every attached cache).
+  struct State {
+    sim::Rng rng{1};
+    LatencyModel latency;
+    std::map<std::pair<NodeId, NodeId>, double> link_loss;
+    uint64_t messages_sent = 0;
+    uint64_t messages_delivered = 0;
+    uint64_t messages_dropped = 0;
+  };
+  State CaptureState() const {
+    return State{rng_,           latency_,            link_loss_,
+                 messages_sent_, messages_delivered_, messages_dropped_};
+  }
+  void RestoreState(const State& state) {
+    rng_ = state.rng;
+    latency_ = state.latency;
+    link_loss_ = state.link_loss;
+    messages_sent_ = state.messages_sent;
+    messages_delivered_ = state.messages_delivered;
+    messages_dropped_ = state.messages_dropped;
+  }
+
  private:
   void Deliver(Envelope envelope);
 

@@ -1,6 +1,7 @@
 #include "net/partition.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "net/connectivity.h"
 
@@ -54,7 +55,29 @@ bool PartitionBackend::Unblock(RuleId id) {
   return true;
 }
 
+void PartitionBackend::BumpEpochAndResync() {
+  ++epoch_;
+  for (ConnectivityCache* cache : caches_) {
+    cache->Resync();
+  }
+}
+
 // --- SwitchPartitioner ---
+
+std::unique_ptr<PartitionBackend::RulesSnapshot> SwitchPartitioner::CaptureRules() const {
+  auto snapshot = std::make_unique<Rules>();
+  snapshot->next_id = next_id_;
+  snapshot->rules = rules_;
+  return snapshot;
+}
+
+void SwitchPartitioner::RestoreRules(const RulesSnapshot& snapshot) {
+  const auto* rules = dynamic_cast<const Rules*>(&snapshot);
+  assert(rules != nullptr && "snapshot came from a different backend type");
+  next_id_ = rules->next_id;
+  rules_ = rules->rules;
+  BumpEpochAndResync();
+}
 
 bool SwitchPartitioner::AllowsLink(NodeId src, NodeId dst) const {
   // Drop rules have priority over the default learning-switch forwarding.
@@ -92,6 +115,23 @@ bool SwitchPartitioner::DoUnblock(RuleId id, std::vector<Link>* coverage) {
 }
 
 // --- FirewallPartitioner ---
+
+std::unique_ptr<PartitionBackend::RulesSnapshot> FirewallPartitioner::CaptureRules() const {
+  auto snapshot = std::make_unique<Rules>();
+  snapshot->next_id = next_id_;
+  snapshot->hosts = hosts_;
+  snapshot->rule_index = rule_index_;
+  return snapshot;
+}
+
+void FirewallPartitioner::RestoreRules(const RulesSnapshot& snapshot) {
+  const auto* rules = dynamic_cast<const Rules*>(&snapshot);
+  assert(rules != nullptr && "snapshot came from a different backend type");
+  next_id_ = rules->next_id;
+  hosts_ = rules->hosts;
+  rule_index_ = rules->rule_index;
+  BumpEpochAndResync();
+}
 
 bool FirewallPartitioner::AllowsLink(NodeId src, NodeId dst) const {
   auto src_it = hosts_.find(src);

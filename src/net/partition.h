@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -70,6 +71,21 @@ class PartitionBackend {
   // it to detect staleness without re-reading the rule table.
   uint64_t epoch() const { return epoch_; }
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  //
+  // An opaque value copy of the installed rule table (and the id counter),
+  // restorable onto the same backend type. The epoch is deliberately NOT
+  // part of the snapshot: it stays monotonic across restores — Restore
+  // bumps it like any other mutation — so attached caches can never read a
+  // replayed epoch as "still coherent".
+  struct RulesSnapshot {
+    virtual ~RulesSnapshot() = default;
+  };
+  virtual std::unique_ptr<RulesSnapshot> CaptureRules() const = 0;
+  // Replaces the rule table with the snapshot's and re-syncs every attached
+  // cache (wholesale replacement has no per-rule delta to patch from).
+  virtual void RestoreRules(const RulesSnapshot& snapshot) = 0;
+
  protected:
   // A directed (src, dst) link, as reported in rule coverage.
   using Link = std::pair<NodeId, NodeId>;
@@ -84,6 +100,10 @@ class PartitionBackend {
   // Removes rule `id`, appending every directed link the rule covered to
   // `coverage` (for cache patching). Returns false if the rule is unknown.
   virtual bool DoUnblock(RuleId id, std::vector<Link>* coverage) = 0;
+
+  // For RestoreRules implementations: advances the epoch and has every
+  // attached cache re-derive its bitmap from the (just-replaced) table.
+  void BumpEpochAndResync();
 
  private:
   friend class ConnectivityCache;
@@ -101,6 +121,9 @@ class SwitchPartitioner : public PartitionBackend {
   size_t rule_count() const override { return rules_.size(); }
   std::string name() const override { return "switch"; }
 
+  std::unique_ptr<RulesSnapshot> CaptureRules() const override;
+  void RestoreRules(const RulesSnapshot& snapshot) override;
+
  protected:
   bool AllowsLink(NodeId src, NodeId dst) const override;
   RuleId DoBlock(const Group& srcs, const Group& dsts) override;
@@ -110,6 +133,10 @@ class SwitchPartitioner : public PartitionBackend {
   struct FlowRule {
     std::set<NodeId> srcs;
     std::set<NodeId> dsts;
+  };
+  struct Rules : RulesSnapshot {
+    RuleId next_id = 1;
+    std::map<RuleId, FlowRule> rules;
   };
   RuleId next_id_ = 1;
   std::map<RuleId, FlowRule> rules_;
@@ -124,6 +151,9 @@ class FirewallPartitioner : public PartitionBackend {
  public:
   size_t rule_count() const override { return rule_index_.size(); }
   std::string name() const override { return "firewall"; }
+
+  std::unique_ptr<RulesSnapshot> CaptureRules() const override;
+  void RestoreRules(const RulesSnapshot& snapshot) override;
 
  protected:
   bool AllowsLink(NodeId src, NodeId dst) const override;
@@ -140,6 +170,11 @@ class FirewallPartitioner : public PartitionBackend {
     // Maps peer -> rule ids that drop traffic in that direction.
     std::map<NodeId, std::set<RuleId>> egress_drop;   // this host -> peer
     std::map<NodeId, std::set<RuleId>> ingress_drop;  // peer -> this host
+  };
+  struct Rules : RulesSnapshot {
+    RuleId next_id = 1;
+    std::map<NodeId, HostChains> hosts;
+    std::map<RuleId, std::vector<ChainRef>> rule_index;
   };
   RuleId next_id_ = 1;
   std::map<NodeId, HostChains> hosts_;
@@ -185,6 +220,11 @@ class Partitioner {
   static Group Rest(const Group& universe, const Group& group);
 
   PartitionBackend* backend() const { return backend_; }
+
+  // Snapshot/restore of the handle counter, so partition ids issued after a
+  // fork match the ids a full replay would have issued.
+  uint64_t next_partition_id() const { return next_partition_id_; }
+  void set_next_partition_id(uint64_t id) { next_partition_id_ = id; }
 
  private:
   Partition MakeBidirectional(const Group& a, const Group& b, const std::string& kind);

@@ -1,5 +1,7 @@
 #include "sim/rng.h"
 
+#include <cassert>
+
 namespace sim {
 namespace {
 
@@ -35,6 +37,12 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::NextBelow(uint64_t bound) {
+  if (bound == 0) {
+    // An empty range has one representable answer. The modulo below would
+    // divide by zero (a crash on every mainstream target), so the edge is
+    // defined away instead of left undefined.
+    return 0;
+  }
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = (0 - bound) % bound;
   for (;;) {
@@ -46,8 +54,16 @@ uint64_t Rng::NextBelow(uint64_t bound) {
 }
 
 int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
-  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
-  return lo + static_cast<int64_t>(NextBelow(span));
+  assert(lo <= hi && "NextInRange requires lo <= hi");
+  // Widen to unsigned first: hi - lo overflows int64_t whenever the
+  // endpoints straddle more than half the domain (signed-overflow UB), and
+  // the full-domain span wraps to zero, which used to feed NextBelow(0).
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) {
+    // [INT64_MIN, INT64_MAX]: every 64-bit pattern is in range.
+    return static_cast<int64_t>(Next());
+  }
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + NextBelow(span));
 }
 
 double Rng::NextDouble() {

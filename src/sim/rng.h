@@ -19,7 +19,8 @@ class Rng {
   // Uniform 64-bit value.
   uint64_t Next();
 
-  // Uniform integer in [0, bound). bound must be > 0.
+  // Uniform integer in [0, bound). A bound of 0 denotes an empty range and
+  // yields 0 without consuming randomness.
   uint64_t NextBelow(uint64_t bound);
 
   // Uniform integer in [lo, hi], inclusive. Requires lo <= hi.

@@ -17,6 +17,12 @@ EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
   assert(when >= now_ && "cannot schedule in the past");
   const EventId id = next_seq_;
   ++next_seq_;
+  if (retain_events_ && !retention_paused_) {
+    // Copy before the heap takes ownership: the retained closure must stay
+    // pristine even after the heap's copy runs (mutable lambdas may consume
+    // their captures when invoked).
+    retained_.emplace(id, RetainedEvent{when, fn});
+  }
   heap_.push_back(Event{when, id, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), EventLater{});
   live_.insert(id);
@@ -25,15 +31,31 @@ EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
 
 bool Simulator::Cancel(EventId id) {
   // Lazy cancellation: the heap entry stays as a tombstone and is discarded
-  // when it reaches the top.
-  return live_.erase(id) != 0;
+  // when it reaches the top — or collectively, once tombstones outnumber
+  // the live half of the heap (cancel-heavy workloads would otherwise grow
+  // the heap without bound).
+  if (live_.erase(id) == 0) {
+    return false;
+  }
+  ++heap_tombstones_;
+  if (heap_tombstones_ * 2 > heap_.size()) {
+    CompactHeap();
+  }
+  return true;
 }
 
 void Simulator::DropCancelled() {
   while (!heap_.empty() && live_.count(heap_.front().seq) == 0) {
     std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
     heap_.pop_back();
+    --heap_tombstones_;
   }
+}
+
+void Simulator::CompactHeap() {
+  std::erase_if(heap_, [this](const Event& event) { return live_.count(event.seq) == 0; });
+  std::make_heap(heap_.begin(), heap_.end(), EventLater{});
+  heap_tombstones_ = 0;
 }
 
 bool Simulator::QueueEmpty() {
@@ -73,6 +95,71 @@ uint64_t Simulator::RunUntil(Time deadline) {
 }
 
 uint64_t Simulator::RunFor(Duration delta) { return RunUntil(now_ + delta); }
+
+void Simulator::SetEventRetention(bool retain) {
+  if (retain && (!retain_events_ || retention_paused_)) {
+    // Adopt the events already pending: heap entries are never invoked in
+    // place (RunOne moves an event out before running it), so copying them
+    // now yields the same pristine closures a schedule-time copy would.
+    // emplace never overwrites, so events retained before a pause keep
+    // their original schedule-time copies.
+    for (const Event& event : heap_) {
+      if (live_.count(event.seq) != 0) {
+        retained_.emplace(event.seq, RetainedEvent{event.when, event.fn});
+      }
+    }
+  }
+  if (!retain) {
+    retained_.clear();
+  }
+  retain_events_ = retain;
+  retention_paused_ = false;
+}
+
+void Simulator::PauseEventRetention() {
+  assert(retain_events_ && "pausing retention requires it to be on");
+  retention_paused_ = true;
+}
+
+Simulator::Checkpoint Simulator::Snapshot() const {
+  Checkpoint checkpoint;
+  checkpoint.now = now_;
+  checkpoint.next_seq = next_seq_;
+  checkpoint.events_executed = events_executed_;
+  checkpoint.rng = rng_;
+  checkpoint.trace_size = trace_.size();
+  checkpoint.live.assign(live_.begin(), live_.end());
+  std::sort(checkpoint.live.begin(), checkpoint.live.end());
+  return checkpoint;
+}
+
+void Simulator::Restore(const Checkpoint& checkpoint) {
+  assert(retain_events_ && "Restore requires event retention");
+  assert(checkpoint.next_seq <= next_seq_ &&
+         "checkpoint must come from this simulator's past");
+  // Purge the abandoned branch: every retained event scheduled after the
+  // checkpoint. The replayed branch re-issues those ids deterministically,
+  // which also bounds the retention map at O(one branch).
+  retained_.erase(retained_.lower_bound(checkpoint.next_seq), retained_.end());
+  heap_.clear();
+  live_.clear();
+  heap_tombstones_ = 0;
+  for (const EventId id : checkpoint.live) {
+    const auto it = retained_.find(id);
+    assert(it != retained_.end() && "live checkpoint event was not retained");
+    heap_.push_back(Event{it->second.when, id, it->second.fn});
+    live_.insert(id);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), EventLater{});
+  now_ = checkpoint.now;
+  next_seq_ = checkpoint.next_seq;
+  events_executed_ = checkpoint.events_executed;
+  rng_ = checkpoint.rng;
+  trace_.Truncate(checkpoint.trace_size);
+  // Any pause-era pending events were just discarded with the heap rebuild,
+  // so the restored branch is fully retained again.
+  retention_paused_ = false;
+}
 
 bool Simulator::RunUntilPredicate(const std::function<bool()>& pred, Time deadline) {
   if (pred()) {

@@ -8,16 +8,28 @@
 //
 // The queue is a binary min-heap ordered by (time, sequence) with lazy
 // cancellation: Cancel() just drops the event id from the live set (O(1))
-// and the tombstoned heap entry is discarded when it surfaces. This makes
+// and the tombstoned heap entry is discarded when it surfaces or when
+// tombstones outnumber half the heap (a compaction sweep keeps cancel-heavy
+// workloads from accumulating dead entries forever). This makes
 // Schedule/Cancel/pop all O(log n) or better — the previous std::map queue
 // paid rebalancing on every operation — while preserving the exact total
 // order (sequence numbers are unique, so ties cannot reorder).
+//
+// The kernel also supports checkpoint/restore (Snapshot/Restore) for the
+// NEAT fork executor: with event retention enabled, a pristine copy of each
+// scheduled closure is kept keyed by event id, so the full kernel state —
+// clock, sequence counter, RNG, trace length, and the live event set — can
+// be captured as a value and reinstated later on the *same* simulator
+// instance (closures capture pointers into the attached component graph, so
+// a checkpoint is only meaningful where those components still live and are
+// restored alongside it).
 
 #ifndef SIM_SIMULATOR_H_
 #define SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -73,6 +85,58 @@ class Simulator {
   // Scheduled events that are neither run nor cancelled (tombstoned heap
   // entries are excluded).
   size_t pending_events() const { return live_.size(); }
+  // Raw heap entries including tombstones — exposed so tests can pin the
+  // compaction bound (heap size stays O(live) under cancel-heavy load).
+  size_t heap_size() const { return heap_.size(); }
+
+  // --- checkpoint / restore ---
+  //
+  // A Checkpoint is a value: plain scalars, an Rng copy, and the sorted ids
+  // of the events that were live at capture time. It deliberately holds no
+  // std::function — the closures themselves are recovered from the retention
+  // map on Restore, so a checkpoint can be copied, stored in an LRU, or
+  // compared without touching captured state.
+  struct Checkpoint {
+    Time now = kTimeZero;
+    uint64_t next_seq = 1;
+    uint64_t events_executed = 0;
+    Rng rng{1};
+    size_t trace_size = 0;
+    std::vector<EventId> live;  // sorted ascending; tombstones excluded
+  };
+
+  // Event retention keeps a pristine schedule-time copy of every event's
+  // closure (heap entries are never invoked in place, so copies taken when
+  // retention is switched on are equally pristine). Required for Restore;
+  // Snapshot records only ids and works either way.
+  void SetEventRetention(bool retain);
+  bool event_retention() const { return retain_events_; }
+  // Stops retaining newly scheduled events WITHOUT discarding the map —
+  // unlike SetEventRetention(false), which tears retention down. Use when a
+  // stretch of execution will never be snapshotted (e.g. a case's teardown
+  // settle): its events are scheduled past every earlier checkpoint's
+  // next_seq, so Restore would discard their retained copies unseen anyway.
+  // No Snapshot may be taken while paused (its live events would not be
+  // restorable). Resumed by Restore, or by SetEventRetention(true), which
+  // re-adopts any still-pending unretained events.
+  void PauseEventRetention();
+  bool event_retention_paused() const { return retention_paused_; }
+  // Retained closures currently held (live, run, and cancelled ones alike
+  // until a Restore purges the dead branch) — exposed for memory tests.
+  size_t retained_events() const { return retained_.size(); }
+
+  // Captures the kernel state. Quiescent-point rule: callers snapshot
+  // between script steps (no event mid-execution); the capture itself is
+  // read-only and excludes tombstoned heap entries by construction.
+  Checkpoint Snapshot() const;
+
+  // Reinstates a checkpoint taken earlier on this same instance: rewinds
+  // clock/seq/RNG/trace, rebuilds the heap from retained copies of the
+  // checkpoint's live events, and drops retained events scheduled after the
+  // checkpoint (the abandoned branch re-issues those ids deterministically).
+  // Requires event retention to have been on since before the checkpoint;
+  // clears any retention pause (the restored branch is snapshotable again).
+  void Restore(const Checkpoint& checkpoint);
 
  private:
   struct Event {
@@ -89,6 +153,8 @@ class Simulator {
 
   // Pops cancelled entries off the top until the heap is empty or live.
   void DropCancelled();
+  // Rebuilds the heap without tombstones (run when they exceed half of it).
+  void CompactHeap();
   // True when no live event remains (prunes tombstones first).
   bool QueueEmpty();
   // The time of the earliest live event. Requires !QueueEmpty().
@@ -101,6 +167,17 @@ class Simulator {
   uint64_t events_executed_ = 0;
   std::vector<Event> heap_;
   std::unordered_set<EventId> live_;
+  // Tombstoned entries still sitting in heap_; drives compaction.
+  size_t heap_tombstones_ = 0;
+  // Pristine copies for Restore, keyed by id (ordered so a dead branch can
+  // be purged as one contiguous range).
+  bool retain_events_ = false;
+  bool retention_paused_ = false;
+  struct RetainedEvent {
+    Time when;
+    std::function<void()> fn;
+  };
+  std::map<EventId, RetainedEvent> retained_;
   Rng rng_;
   TraceLog trace_;
 };

@@ -2,6 +2,7 @@
 
 #include <set>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 namespace sim {
@@ -35,11 +36,20 @@ size_t TraceLog::CountEvent(const std::string& event) const {
 
 std::vector<std::pair<std::string, std::string>> TraceLog::EventBigrams() const {
   std::vector<std::pair<std::string, std::string>> out;
-  std::set<std::pair<std::string, std::string>> seen;
+  // Dedup on views into the records (stable for the scan's duration) and
+  // materialize strings only for first appearances: traces are dominated by
+  // runs of repeated event names, so most iterations take the fast path.
+  std::set<std::pair<std::string_view, std::string_view>> seen;
+  std::pair<std::string_view, std::string_view> last{};
   for (size_t i = 1; i < records_.size(); ++i) {
-    std::pair<std::string, std::string> bigram{records_[i - 1].event, records_[i].event};
+    const std::pair<std::string_view, std::string_view> bigram{records_[i - 1].event,
+                                                               records_[i].event};
+    if (i > 1 && bigram == last) {
+      continue;
+    }
+    last = bigram;
     if (seen.insert(bigram).second) {
-      out.push_back(std::move(bigram));
+      out.emplace_back(bigram.first, bigram.second);
     }
   }
   return out;

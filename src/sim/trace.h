@@ -44,6 +44,15 @@ class TraceLog {
   size_t size() const { return records_.size(); }
   void Clear() { records_.clear(); }
 
+  // Drops every record past the first `size` ones. Snapshot/restore rewinds
+  // the log to its length at the checkpoint; a no-op if the log is already
+  // that short (or the log is disabled and holds nothing).
+  void Truncate(size_t size) {
+    if (records_.size() > size) {
+      records_.resize(size);
+    }
+  }
+
   // When enabled (default), records are retained; disabling turns Append
   // into a counter-only operation for throughput benchmarks.
   void set_enabled(bool enabled) { enabled_ = enabled; }

@@ -38,6 +38,38 @@ class Client : public cluster::Process {
   int64_t last_counter_value() const { return last_counter_value_; }
   int client_num() const { return client_num_; }
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  struct State {
+    net::NodeId contact = net::kInvalidNode;
+    sim::Duration op_timeout = sim::Milliseconds(800);
+    bool outstanding = false;
+    uint64_t next_request_id = 1;
+    uint64_t current_request_id = 0;
+    int held_resources = 0;
+    check::Operation pending_op;
+    check::Operation last_op;
+    int64_t last_counter_value = 0;
+    sim::EventId timeout_timer = sim::kInvalidEventId;
+  };
+  State CaptureState() const {
+    return State{contact_,           op_timeout_,  outstanding_,
+                 next_request_id_,   current_request_id_, held_resources_,
+                 pending_op_,        last_op_,     last_counter_value_,
+                 timeout_timer_};
+  }
+  void RestoreState(const State& state) {
+    contact_ = state.contact;
+    op_timeout_ = state.op_timeout;
+    outstanding_ = state.outstanding;
+    next_request_id_ = state.next_request_id;
+    current_request_id_ = state.current_request_id;
+    held_resources_ = state.held_resources;
+    pending_op_ = state.pending_op;
+    last_op_ = state.last_op;
+    last_counter_value_ = state.last_counter_value;
+    timeout_timer_ = state.timeout_timer;
+  }
+
  protected:
   void OnStart() override;
   void OnMessage(const net::Envelope& envelope) override;

@@ -377,4 +377,28 @@ void Server::FinishTxn(uint64_t txn_id, bool ok) {
   SendEnvelope(txn.client_node, reply);
 }
 
+Server::State Server::CaptureState() const {
+  State state;
+  state.view = view_;
+  state.locks = locks_;
+  state.semaphores = semaphores_;
+  state.counters = counters_;
+  state.pending = pending_;
+  state.next_txn_id = next_txn_id_;
+  state.leases = leases_;
+  state.detector_last_heard = detector_.last_heard();
+  return state;
+}
+
+void Server::RestoreState(const State& state) {
+  view_ = state.view;
+  locks_ = state.locks;
+  semaphores_ = state.semaphores;
+  counters_ = state.counters;
+  pending_ = state.pending;
+  next_txn_id_ = state.next_txn_id;
+  leases_ = state.leases;
+  detector_.set_last_heard(state.detector_last_heard);
+}
+
 }  // namespace locksvc

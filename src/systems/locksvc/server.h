@@ -38,6 +38,11 @@ class Server : public cluster::Process {
   int64_t CounterValue(const std::string& counter) const;
   const std::set<net::NodeId>& view() const { return view_; }
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  struct State;
+  State CaptureState() const;
+  void RestoreState(const State& state);
+
  protected:
   void OnStart() override;
   void OnMessage(const net::Envelope& envelope) override;
@@ -101,6 +106,17 @@ class Server : public cluster::Process {
   std::map<int, ClientLease> leases_;  // by client number; coordinator-side
 
   cluster::FailureDetector detector_;
+};
+
+struct Server::State {
+  std::set<net::NodeId> view;
+  std::map<std::string, int> locks;
+  std::map<std::string, Semaphore> semaphores;
+  std::map<std::string, int64_t> counters;
+  std::map<uint64_t, PendingTxn> pending;
+  uint64_t next_txn_id = 1;
+  std::map<int, ClientLease> leases;
+  std::map<net::NodeId, sim::Time> detector_last_heard;
 };
 
 }  // namespace locksvc

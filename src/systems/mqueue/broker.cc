@@ -360,4 +360,28 @@ void Broker::OnMessage(const net::Envelope& envelope) {
   }
 }
 
+Broker::State Broker::CaptureState() const {
+  State state;
+  state.is_master = is_master_;
+  state.create_pending = create_pending_;
+  state.last_zk_pong = last_zk_pong_;
+  state.next_zk_request = next_zk_request_;
+  state.next_seq = next_seq_;
+  state.queues = queues_;
+  state.pending = pending_;
+  state.detector_last_heard = detector_.last_heard();
+  return state;
+}
+
+void Broker::RestoreState(const State& state) {
+  is_master_ = state.is_master;
+  create_pending_ = state.create_pending;
+  last_zk_pong_ = state.last_zk_pong;
+  next_zk_request_ = state.next_zk_request;
+  next_seq_ = state.next_seq;
+  queues_ = state.queues;
+  pending_ = state.pending;
+  detector_.set_last_heard(state.detector_last_heard);
+}
+
 }  // namespace mqueue

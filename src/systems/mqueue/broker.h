@@ -27,6 +27,11 @@ class Broker : public cluster::Process {
   size_t QueueSize(const std::string& queue) const;
   bool QueueContains(const std::string& queue, const std::string& value) const;
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  struct State;
+  State CaptureState() const;
+  void RestoreState(const State& state);
+
  protected:
   void OnStart() override;
   void OnMessage(const net::Envelope& envelope) override;
@@ -69,6 +74,17 @@ class Broker : public cluster::Process {
   std::map<std::string, std::deque<std::string>> queues_;
   std::map<uint64_t, PendingOp> pending_;
   cluster::FailureDetector detector_;
+};
+
+struct Broker::State {
+  bool is_master = false;
+  bool create_pending = false;
+  sim::Time last_zk_pong = sim::kTimeZero;
+  uint64_t next_zk_request = 1;
+  uint64_t next_seq = 1;
+  std::map<std::string, std::deque<std::string>> queues;
+  std::map<uint64_t, PendingOp> pending;
+  std::map<net::NodeId, sim::Time> detector_last_heard;
 };
 
 }  // namespace mqueue

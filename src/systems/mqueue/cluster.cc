@@ -84,4 +84,30 @@ check::Operation Cluster::Receive(int client_index, const std::string& queue,
   return RunToCompletion(c);
 }
 
+Cluster::State Cluster::CaptureState() const {
+  State state;
+  state.env = env_.Snapshot();
+  state.brokers.reserve(brokers_.size());
+  for (const auto& broker : brokers_) {
+    state.brokers.push_back(broker->CaptureState());
+  }
+  state.registry = registry_->CaptureState();
+  state.clients.reserve(clients_.size());
+  for (const auto& client : clients_) {
+    state.clients.push_back(client->CaptureState());
+  }
+  return state;
+}
+
+void Cluster::RestoreState(const State& state) {
+  env_.Restore(state.env);
+  for (size_t i = 0; i < brokers_.size(); ++i) {
+    brokers_[i]->RestoreState(state.brokers.at(i));
+  }
+  registry_->RestoreState(state.registry);
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->RestoreState(state.clients.at(i));
+  }
+}
+
 }  // namespace mqueue

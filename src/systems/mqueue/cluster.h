@@ -49,6 +49,16 @@ class Cluster {
   // Brokers currently *believing* they are master (2+ = split brain).
   std::vector<net::NodeId> SelfBelievedMasters() const;
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  struct State {
+    neat::TestEnv::State env;
+    std::vector<Broker::State> brokers;
+    zksvc::Registry::State registry;
+    std::vector<Client::State> clients;
+  };
+  State CaptureState() const;
+  void RestoreState(const State& state);
+
  private:
   check::Operation RunToCompletion(Client& c);
 

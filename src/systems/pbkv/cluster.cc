@@ -103,4 +103,28 @@ uint64_t Cluster::TotalElections() const {
   return total;
 }
 
+Cluster::State Cluster::CaptureState() const {
+  State state;
+  state.env = env_.Snapshot();
+  state.servers.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    state.servers.push_back(server->CaptureState());
+  }
+  state.clients.reserve(clients_.size());
+  for (const auto& client : clients_) {
+    state.clients.push_back(client->CaptureState());
+  }
+  return state;
+}
+
+void Cluster::RestoreState(const State& state) {
+  env_.Restore(state.env);
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i]->RestoreState(state.servers.at(i));
+  }
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->RestoreState(state.clients.at(i));
+  }
+}
+
 }  // namespace pbkv

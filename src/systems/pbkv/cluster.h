@@ -57,6 +57,18 @@ class Cluster {
   // Total elections started across all servers (thrash metric).
   uint64_t TotalElections() const;
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  // The whole deployment as a value: env (sim/net/rules/history/kernels)
+  // plus every server's and client's protocol state. Restorable only onto
+  // this same cluster instance, at a quiescent point.
+  struct State {
+    neat::TestEnv::State env;
+    std::vector<Server::State> servers;
+    std::vector<Client::State> clients;
+  };
+  State CaptureState() const;
+  void RestoreState(const State& state);
+
  private:
   check::Operation RunToCompletion(Client& c);
 

@@ -755,4 +755,48 @@ void Server::HandleReadGuardAck(const net::Envelope& envelope, const ReadGuardAc
   }
 }
 
+Server::State Server::CaptureState() const {
+  State state;
+  state.role = role_;
+  state.term = term_;
+  state.current_leader = current_leader_;
+  state.voted_term = voted_term_;
+  state.votes = votes_;
+  state.election_scheduled = election_scheduled_;
+  state.last_leader_contact = last_leader_contact_;
+  state.primary_conflict_backoff_until = primary_conflict_backoff_until_;
+  state.log = log_;
+  state.store = store_;
+  state.pending_writes = pending_writes_;
+  state.pending_reads = pending_reads_;
+  state.next_guard_id = next_guard_id_;
+  state.forwards = forwards_;
+  state.next_forward_id = next_forward_id_;
+  state.detector_last_heard = detector_.last_heard();
+  state.elections_started = elections_started_;
+  state.stepdowns = stepdowns_;
+  return state;
+}
+
+void Server::RestoreState(const State& state) {
+  role_ = state.role;
+  term_ = state.term;
+  current_leader_ = state.current_leader;
+  voted_term_ = state.voted_term;
+  votes_ = state.votes;
+  election_scheduled_ = state.election_scheduled;
+  last_leader_contact_ = state.last_leader_contact;
+  primary_conflict_backoff_until_ = state.primary_conflict_backoff_until;
+  log_ = state.log;
+  store_ = state.store;
+  pending_writes_ = state.pending_writes;
+  pending_reads_ = state.pending_reads;
+  next_guard_id_ = state.next_guard_id;
+  forwards_ = state.forwards;
+  next_forward_id_ = state.next_forward_id;
+  detector_.set_last_heard(state.detector_last_heard);
+  elections_started_ = state.elections_started;
+  stepdowns_ = state.stepdowns;
+}
+
 }  // namespace pbkv

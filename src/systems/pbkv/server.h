@@ -61,6 +61,14 @@ class Server : public cluster::Process {
   uint64_t elections_started() const { return elections_started_; }
   uint64_t stepdowns() const { return stepdowns_; }
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  // Every mutable field as a value; configuration (options, membership) is
+  // immutable and excluded. Kernel state (epoch/crashed) is captured by the
+  // TestEnv, not here.
+  struct State;
+  State CaptureState() const;
+  void RestoreState(const State& state);
+
  protected:
   void OnStart() override;
   void OnMessage(const net::Envelope& envelope) override;
@@ -170,6 +178,27 @@ class Server : public cluster::Process {
 
   uint64_t elections_started_ = 0;
   uint64_t stepdowns_ = 0;
+};
+
+struct Server::State {
+  Role role = Role::kFollower;
+  uint64_t term = 0;
+  net::NodeId current_leader = net::kInvalidNode;
+  uint64_t voted_term = 0;
+  std::set<net::NodeId> votes;
+  bool election_scheduled = false;
+  sim::Time last_leader_contact = sim::kTimeZero;
+  sim::Time primary_conflict_backoff_until = sim::kTimeZero;
+  std::vector<LogEntry> log;
+  std::map<std::string, StoreValue> store;
+  std::map<uint64_t, PendingWrite> pending_writes;
+  std::map<uint64_t, PendingRead> pending_reads;
+  uint64_t next_guard_id = 1;
+  std::map<uint64_t, PendingForward> forwards;
+  uint64_t next_forward_id = 1;
+  std::map<net::NodeId, sim::Time> detector_last_heard;
+  uint64_t elections_started = 0;
+  uint64_t stepdowns = 0;
 };
 
 }  // namespace pbkv

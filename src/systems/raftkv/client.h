@@ -31,6 +31,40 @@ class Client : public cluster::Process {
   bool idle() const { return !outstanding_; }
   const check::Operation& last_op() const { return last_op_; }
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  struct State {
+    net::NodeId contact = net::kInvalidNode;
+    bool allow_redirect = true;
+    sim::Duration op_timeout = sim::Milliseconds(1500);
+    bool outstanding = false;
+    Command current_command;
+    uint64_t next_request_id = 1;
+    uint64_t current_request_id = 0;
+    int redirects_left = 0;
+    check::Operation pending_op;
+    check::Operation last_op;
+    sim::EventId timeout_timer = sim::kInvalidEventId;
+  };
+  State CaptureState() const {
+    return State{contact_,         allow_redirect_,     op_timeout_,
+                 outstanding_,     current_command_,    next_request_id_,
+                 current_request_id_, redirects_left_,  pending_op_,
+                 last_op_,         timeout_timer_};
+  }
+  void RestoreState(const State& state) {
+    contact_ = state.contact;
+    allow_redirect_ = state.allow_redirect;
+    op_timeout_ = state.op_timeout;
+    outstanding_ = state.outstanding;
+    current_command_ = state.current_command;
+    next_request_id_ = state.next_request_id;
+    current_request_id_ = state.current_request_id;
+    redirects_left_ = state.redirects_left;
+    pending_op_ = state.pending_op;
+    last_op_ = state.last_op;
+    timeout_timer_ = state.timeout_timer;
+  }
+
  protected:
   void OnMessage(const net::Envelope& envelope) override;
 

@@ -87,4 +87,28 @@ check::Operation Cluster::ChangeMembers(int client_index, std::vector<net::NodeI
   return RunToCompletion(c);
 }
 
+Cluster::State Cluster::CaptureState() const {
+  State state;
+  state.env = env_.Snapshot();
+  state.servers.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    state.servers.push_back(server->CaptureState());
+  }
+  state.clients.reserve(clients_.size());
+  for (const auto& client : clients_) {
+    state.clients.push_back(client->CaptureState());
+  }
+  return state;
+}
+
+void Cluster::RestoreState(const State& state) {
+  env_.Restore(state.env);
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i]->RestoreState(state.servers.at(i));
+  }
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->RestoreState(state.clients.at(i));
+  }
+}
+
 }  // namespace raftkv

@@ -45,6 +45,15 @@ class Cluster {
   check::Operation Delete(int client, const std::string& key);
   check::Operation ChangeMembers(int client, std::vector<net::NodeId> members);
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  struct State {
+    neat::TestEnv::State env;
+    std::vector<Server::State> servers;
+    std::vector<Client::State> clients;
+  };
+  State CaptureState() const;
+  void RestoreState(const State& state);
+
  private:
   check::Operation RunToCompletion(Client& c);
 

@@ -39,6 +39,11 @@ class Server : public cluster::Process {
   bool removed() const { return removed_; }
   std::optional<std::string> StoreGet(const std::string& key) const;
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  struct State;
+  State CaptureState() const;
+  void RestoreState(const State& state);
+
  protected:
   void OnStart() override;
   void OnMessage(const net::Envelope& envelope) override;
@@ -94,6 +99,24 @@ class Server : public cluster::Process {
     uint64_t request_id = 0;
   };
   std::map<uint64_t, PendingClient> pending_;
+};
+
+struct Server::State {
+  std::vector<net::NodeId> members;
+  Role role = Role::kFollower;
+  uint64_t term = 0;
+  net::NodeId voted_for = net::kInvalidNode;
+  net::NodeId leader_id = net::kInvalidNode;
+  std::vector<LogEntry> log;
+  uint64_t commit_index = 0;
+  uint64_t last_applied = 0;
+  sim::Time election_deadline = 0;
+  bool removed = false;
+  std::set<net::NodeId> votes;
+  std::map<net::NodeId, uint64_t> next_index;
+  std::map<net::NodeId, uint64_t> match_index;
+  std::map<std::string, std::string> store;
+  std::map<uint64_t, PendingClient> pending;
 };
 
 }  // namespace raftkv

@@ -33,6 +33,11 @@ class Registry : public cluster::Process {
   std::string Data(const std::string& path) const;
   size_t live_sessions() const { return sessions_.size(); }
 
+  // --- snapshot / restore (NEAT fork executor) ---
+  struct State;
+  State CaptureState() const;
+  void RestoreState(const State& state);
+
  protected:
   void OnStart() override;
   void OnMessage(const net::Envelope& envelope) override;
@@ -53,6 +58,12 @@ class Registry : public cluster::Process {
   std::map<std::string, Entry> entries_;
   std::map<net::NodeId, sim::Time> sessions_;
   std::map<std::string, std::set<net::NodeId>> watches_;
+};
+
+struct Registry::State {
+  std::map<std::string, Entry> entries;
+  std::map<net::NodeId, sim::Time> sessions;
+  std::map<std::string, std::set<net::NodeId>> watches;
 };
 
 }  // namespace zksvc

@@ -1,0 +1,34 @@
+// Fixture: snapshot-nonconst. Capturing a fork snapshot is a read-only
+// probe of the run; a non-const Snapshot() can perturb the state it
+// captures, making forked executions diverge from replays.
+#include <cstdint>
+#include <memory>
+
+namespace systems {
+
+struct SystemState {
+  virtual ~SystemState() = default;
+};
+
+class BadRunner {
+ public:
+  std::unique_ptr<SystemState> Snapshot() {
+    ++captures_;
+    return nullptr;
+  }
+
+ private:
+  uint64_t captures_ = 0;
+};
+
+class GoodRunner {
+ public:
+  std::unique_ptr<SystemState> Snapshot() const { return nullptr; }
+
+  void Use() {
+    auto a = Snapshot();       // unqualified call: not a declaration
+    auto b = this->Snapshot(); // member call: not a declaration
+  }
+};
+
+}  // namespace systems

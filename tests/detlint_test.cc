@@ -122,6 +122,7 @@ INSTANTIATE_TEST_SUITE_P(
                       GoldenCase{"static_local", false},
                       GoldenCase{"unordered_digest", false},
                       GoldenCase{"digest_nonconst", false},
+                      GoldenCase{"snapshot_nonconst", false},
                       GoldenCase{"messages", false}, GoldenCase{"suppressed", false},
                       GoldenCase{"baseline_case", true}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
@@ -184,6 +185,16 @@ TEST(Rules, DigestMustBeConst) {
   ASSERT_EQ(result.findings.size(), 1u);
   EXPECT_EQ(result.findings[0].rule, "digest-nonconst");
   EXPECT_EQ(result.findings[0].subject, "StateDigest");
+}
+
+TEST(Rules, SnapshotMustBeConst) {
+  // Declarations with a template return type (`...> Snapshot()`) are
+  // flagged when non-const; call sites — member (`->Snapshot()`) and
+  // unqualified (`= Snapshot()`) — are not declarations and stay clean.
+  const AnalysisResult result = AnalyzeFixture("snapshot_nonconst");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "snapshot-nonconst");
+  EXPECT_EQ(result.findings[0].subject, "Snapshot");
 }
 
 TEST(Rules, UnhandledMessageSeesCrossFileDispatch) {

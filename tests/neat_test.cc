@@ -1005,5 +1005,227 @@ TEST(DigestStability, SortedFeaturePipelineNeutralizesHashOrder) {
   EXPECT_EQ(pipeline(order_a), pipeline(order_b));
 }
 
+// --- snapshot/fork prefix reuse (neat/fork.h) ---
+
+void ExpectSameExecution(const ExecutionResult& got, const ExecutionResult& want) {
+  EXPECT_EQ(got.found_failure, want.found_failure) << want.trace;
+  EXPECT_EQ(FailureSignature(got), FailureSignature(want)) << want.trace;
+  EXPECT_EQ(got.trace, want.trace);
+  // Coverage features include the sd: state-digest transitions, so equality
+  // here pins the forked run's observed system states, not just verdicts.
+  EXPECT_EQ(got.coverage, want.coverage) << want.trace;
+  EXPECT_EQ(check::FormatViolations(got.violations), check::FormatViolations(want.violations))
+      << want.trace;
+}
+
+TEST(Fork, PbkvForkEqualsReplayOnThePaperPrunedSuite) {
+  // The fork==replay acceptance bar: every case of the paper-pruned pbkv
+  // suite, executed by one persistent forking session, must be
+  // byte-identical to a fresh-cluster replay — and the session must
+  // actually fork (the DFS enumeration shares prefixes by construction).
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const auto suite = gen.EnumerateUpTo(3, PaperPruning());
+  const CaseExecutor replay = PbkvCaseExecutor(pbkv::VoltDbOptions());
+  auto stats = std::make_shared<ForkStats>();
+  const CaseExecutor forked =
+      ForkingCaseExecutor(PbkvRunnerFactory(pbkv::VoltDbOptions()), ForkOptions{}, stats);
+  for (const TestCase& test_case : suite) {
+    ExpectSameExecution(forked(test_case, 1), replay(test_case, 1));
+  }
+  EXPECT_EQ(stats->cases_run, suite.size());
+  EXPECT_GT(stats->forked_runs, 0u);
+  EXPECT_GT(stats->events_forked_over, 0u);
+  EXPECT_EQ(stats->fresh_runners, 1u) << "one live runner serves the whole suite";
+}
+
+TEST(Fork, EverySystemForksByteIdenticallyOnAPrefixFamily) {
+  // The other three shipped adapters, on a nested prefix family (each case
+  // extends the previous one, so every run after the first forks).
+  TestEvent partition;
+  partition.kind = EventKind::kPartition;
+  partition.partition = PartitionKind::kComplete;
+  partition.target = IsolationTarget::kLeader;
+  TestEvent minority_write;
+  minority_write.kind = EventKind::kWrite;
+  minority_write.side = Side::kMinority;
+  TestEvent minority_read;
+  minority_read.kind = EventKind::kRead;
+  minority_read.side = Side::kMinority;
+  TestEvent minority_lock;
+  minority_lock.kind = EventKind::kLock;
+  minority_lock.side = Side::kMinority;
+  TestEvent majority_lock;
+  majority_lock.kind = EventKind::kLock;
+  majority_lock.side = Side::kMajority;
+
+  struct Target {
+    const char* name;
+    CaseExecutor replay;
+    CaseExecutor forked;
+    std::shared_ptr<ForkStats> stats;
+    std::vector<TestCase> cases;
+  };
+  std::vector<Target> targets;
+  {
+    auto stats = std::make_shared<ForkStats>();
+    targets.push_back({"locksvc", LocksvcCaseExecutor(locksvc::IgniteOptions()),
+                       ForkingCaseExecutor(LocksvcRunnerFactory(locksvc::IgniteOptions()),
+                                           ForkOptions{}, stats),
+                       stats,
+                       {{partition},
+                        {partition, minority_lock},
+                        {partition, minority_lock, majority_lock}}});
+  }
+  {
+    auto stats = std::make_shared<ForkStats>();
+    targets.push_back({"raftkv", RaftKvCaseExecutor(raftkv::RethinkDbOptions()),
+                       ForkingCaseExecutor(RaftKvRunnerFactory(raftkv::RethinkDbOptions()),
+                                           ForkOptions{}, stats),
+                       stats,
+                       {{partition},
+                        {partition, minority_write},
+                        {partition, minority_write, minority_read}}});
+  }
+  {
+    auto stats = std::make_shared<ForkStats>();
+    targets.push_back({"mqueue", MqueueCaseExecutor(mqueue::ActiveMqOptions()),
+                       ForkingCaseExecutor(MqueueRunnerFactory(mqueue::ActiveMqOptions()),
+                                           ForkOptions{}, stats),
+                       stats,
+                       {{partition},
+                        {partition, minority_read},
+                        {partition, minority_read, minority_write}}});
+  }
+  for (Target& target : targets) {
+    for (const TestCase& test_case : target.cases) {
+      ExpectSameExecution(target.forked(test_case, 1), target.replay(test_case, 1));
+    }
+    EXPECT_GT(target.stats->forked_runs, 0u) << target.name;
+    EXPECT_EQ(target.stats->fresh_runners, 1u) << target.name;
+  }
+}
+
+TEST(Fork, SiblingRestoreInvalidatesDescendantSnapshots) {
+  // The regression behind the ancestor-chain rule: snapshots index
+  // positions in the branch's simulator history (trace sizes, event
+  // sequence numbers), so restoring [P] and running a sibling suffix
+  // rewrites the history that the cached [P,heal] snapshot points into.
+  // Before the fix, the fourth case below restored that corrupted
+  // snapshot and produced a trace with the sibling's drop record where
+  // the heal record should be.
+  TestEvent partition;
+  partition.kind = EventKind::kPartition;
+  partition.partition = PartitionKind::kComplete;
+  partition.target = IsolationTarget::kLeader;
+  TestEvent heal;
+  heal.kind = EventKind::kHeal;
+  TestEvent minority_write;
+  minority_write.kind = EventKind::kWrite;
+  minority_write.side = Side::kMinority;
+  const CaseExecutor replay = PbkvCaseExecutor(pbkv::VoltDbOptions());
+  auto stats = std::make_shared<ForkStats>();
+  const CaseExecutor forked =
+      ForkingCaseExecutor(PbkvRunnerFactory(pbkv::VoltDbOptions()), ForkOptions{}, stats);
+  const std::vector<TestCase> cases = {{partition},
+                                       {partition, heal},
+                                       {partition, minority_write},
+                                       {partition, heal, heal}};
+  for (const TestCase& test_case : cases) {
+    ExpectSameExecution(forked(test_case, 1), replay(test_case, 1));
+  }
+  // The third case restores [P], which must invalidate the cached [P,heal]
+  // descendant; the fourth case then re-executes heal instead of reusing it.
+  EXPECT_GT(stats->snapshots_invalidated, 0u);
+}
+
+TEST(Fork, GuidedCampaignWithForkingSessionsMatchesReplayAtAnyThreadCount) {
+  // Guided campaigns with per-worker forking sessions must keep the
+  // parallel==serial byte-identity contract AND match the session-less
+  // replay campaign: session state changes speed, never results.
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  const CaseExecutor replay = PbkvCaseExecutor(pbkv::VoltDbOptions());
+  CampaignOptions base;
+  base.guided = true;
+  base.guided_rounds = 2;
+  CampaignOptions replay_options = base;
+  replay_options.threads = 2;
+  const CampaignResult expected = RunCampaign(gen, 3, PaperPruning(), replay, replay_options);
+  ASSERT_GT(expected.cases_run, 0u);
+  for (const int threads : {1, 8}) {
+    CampaignOptions fork_options = base;
+    fork_options.threads = threads;
+    fork_options.sessions = ForkingSessions(PbkvRunnerFactory(pbkv::VoltDbOptions()));
+    const CampaignResult got = RunCampaign(gen, 3, PaperPruning(), replay, fork_options);
+    EXPECT_EQ(got.cases_run, expected.cases_run) << threads;
+    EXPECT_EQ(got.VerdictDigest(), expected.VerdictDigest()) << threads;
+    EXPECT_EQ(got.coverage.Digest(), expected.coverage.Digest()) << threads;
+    EXPECT_EQ(got.CorpusDigest(), expected.CorpusDigest()) << threads;
+    EXPECT_EQ(got.guided.new_features_per_round, expected.guided.new_features_per_round)
+        << threads;
+  }
+}
+
+TEST(Fork, CampaignMinimizeWithForkingSessionsMatchesReplay) {
+  // The triage post-pass builds one forking session per minimization; the
+  // ddmin probes share prefixes, and the repros must not change.
+  TestCaseGenerator::Alphabet alphabet;
+  TestCaseGenerator gen(alphabet);
+  CampaignOptions plain;
+  plain.threads = 4;
+  plain.minimize_failures = true;
+  const CaseExecutor replay = PbkvCaseExecutor(pbkv::VoltDbOptions());
+  const CampaignResult expected = RunCampaign(gen, 3, PaperPruning(), replay, plain);
+  ASSERT_GT(expected.failures, 0u);
+  ASSERT_FALSE(expected.minimized.empty());
+  CampaignOptions with_sessions = plain;
+  with_sessions.sessions = ForkingSessions(PbkvRunnerFactory(pbkv::VoltDbOptions()));
+  const CampaignResult got = RunCampaign(gen, 3, PaperPruning(), replay, with_sessions);
+  EXPECT_EQ(got.VerdictDigest(), expected.VerdictDigest());
+  ASSERT_EQ(got.minimized.size(), expected.minimized.size());
+  for (size_t i = 0; i < expected.minimized.size(); ++i) {
+    EXPECT_EQ(got.minimized[i].signature, expected.minimized[i].signature);
+    EXPECT_EQ(FormatTestCase(got.minimized[i].minimized),
+              FormatTestCase(expected.minimized[i].minimized));
+    EXPECT_EQ(got.minimized[i].probes, expected.minimized[i].probes);
+  }
+}
+
+TEST(Fork, UnforkableRunnerFallsBackToFullReplay) {
+  // A runner whose Snapshot() returns nullptr (the ISystem default) must
+  // still execute correctly — every case replays on a fresh runner.
+  class UnforkableRunner : public CaseRunner {
+   public:
+    explicit UnforkableRunner(int* built) : env_(TestEnv::Options{}) { ++*built; }
+    TestEnv& Env() override { return env_; }
+    void ApplyEvent(const TestEvent& event) override { ++applied_; (void)event; }
+    ExecutionResult Finish(const TestCase& test_case) override {
+      ExecutionResult result;
+      result.trace = FormatTestCase(test_case);
+      result.found_failure = applied_ >= 2;
+      return result;
+    }
+    std::unique_ptr<SystemState> Snapshot() const override { return nullptr; }
+    void Restore(const SystemState& state) override { (void)state; }
+
+   private:
+    TestEnv env_;
+    int applied_ = 0;
+  };
+  int built = 0;
+  auto stats = std::make_shared<ForkStats>();
+  const CaseExecutor executor = ForkingCaseExecutor(
+      [&built](uint64_t) { return std::make_unique<UnforkableRunner>(&built); },
+      ForkOptions{}, stats);
+  TestEvent partition;
+  partition.kind = EventKind::kPartition;
+  EXPECT_FALSE(executor({partition}, 1).found_failure);
+  EXPECT_TRUE(executor({partition, partition}, 1).found_failure);
+  EXPECT_EQ(built, 2) << "each case gets a fresh runner without snapshots";
+  EXPECT_EQ(stats->forked_runs, 0u);
+  EXPECT_EQ(stats->snapshots_taken, 0u);
+}
+
 }  // namespace
 }  // namespace neat

@@ -322,6 +322,10 @@ class CountingBackend : public PartitionBackend {
   size_t rule_count() const override { return 0; }
   std::string name() const override { return "counting"; }
   uint64_t link_queries() const { return link_queries_; }
+  std::unique_ptr<RulesSnapshot> CaptureRules() const override {
+    return std::make_unique<RulesSnapshot>();  // no rules to capture
+  }
+  void RestoreRules(const RulesSnapshot&) override {}
 
  protected:
   bool AllowsLink(NodeId, NodeId) const override {

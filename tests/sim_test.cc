@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/network.h"
@@ -211,6 +214,199 @@ TEST(SimulatorTest, CountsExecutedEvents) {
   }
   s.RunUntilIdle();
   EXPECT_EQ(s.events_executed(), 7u);
+}
+
+// Regression: NextBelow(0) used to compute `(0 - 0) % 0` — an integer
+// division by zero that crashes on every mainstream target. The empty
+// range now yields 0 without consuming randomness.
+TEST(RngTest, NextBelowZeroBoundIsDefined) {
+  Rng rng(13);
+  Rng twin(13);
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+  // No state was consumed: the twin that never saw the empty range still
+  // agrees on the next draw.
+  EXPECT_EQ(rng.Next(), twin.Next());
+}
+
+// Regression: NextInRange computed `hi - lo + 1` in int64_t, which is
+// signed-overflow UB whenever the endpoints straddle more than half the
+// domain, and for the full domain the span wrapped to zero and fed
+// NextBelow(0)'s division by zero.
+TEST(RngTest, NextInRangeFullInt64DomainIsDefined) {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  Rng rng(17);
+  Rng twin(17);
+  bool saw_negative = false;
+  bool saw_positive = false;
+  for (int i = 0; i < 256; ++i) {
+    const int64_t v = rng.NextInRange(kMin, kMax);
+    EXPECT_EQ(v, twin.NextInRange(kMin, kMax));  // still deterministic
+    saw_negative = saw_negative || v < 0;
+    saw_positive = saw_positive || v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+  // Straddling spans short of the full domain go through the unsigned
+  // NextBelow path; the degenerate one-value range is exact.
+  for (int i = 0; i < 256; ++i) {
+    const int64_t v = rng.NextInRange(kMin + 1, kMax);
+    EXPECT_GE(v, kMin + 1);
+  }
+  EXPECT_EQ(rng.NextInRange(kMin, kMin), kMin);
+  EXPECT_EQ(rng.NextInRange(kMax, kMax), kMax);
+}
+
+// Regression: cancelled events used to sit in the heap as tombstones until
+// they surfaced at the top, so a workload that schedules far-future timers
+// and cancels them (every crashed process does) grew the heap without
+// bound. Compaction now keeps the heap O(live).
+TEST(SimulatorTest, CancelHeavyLoadKeepsHeapCompacted) {
+  Simulator s;
+  int survivor_ran = 0;
+  s.Schedule(Seconds(100), [&]() { ++survivor_ran; });
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(s.Schedule(Seconds(10 + i), []() {}));
+    }
+    for (const EventId id : ids) {
+      EXPECT_TRUE(s.Cancel(id));
+    }
+    // Tombstones never exceed half the heap, so the heap stays within a
+    // small factor of the live count (1 here) at every quiescent point.
+    EXPECT_LE(s.heap_size(), 2 * s.pending_events() + 1);
+  }
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.RunUntilIdle();
+  EXPECT_EQ(survivor_ran, 1);
+}
+
+// RunUntil over a queue holding only cancelled events must run nothing and
+// still advance the clock to the deadline.
+TEST(SimulatorTest, RunUntilOverOnlyCancelledEventsAdvancesClock) {
+  Simulator s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(s.Schedule(Milliseconds(i + 1), []() {}));
+  }
+  for (const EventId id : ids) {
+    EXPECT_TRUE(s.Cancel(id));
+  }
+  EXPECT_EQ(s.RunUntil(Milliseconds(10)), 0u);
+  EXPECT_EQ(s.Now(), Milliseconds(10));
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+// A zero-delay Schedule lands after already-queued events at the same
+// time: sequence numbers break the tie, so an event that reschedules at
+// delay 0 cannot jump ahead of its peers.
+TEST(SimulatorTest, ZeroDelayScheduleRunsAfterSameTimeQueuedEvents) {
+  Simulator s;
+  std::vector<int> order;
+  s.Schedule(0, [&]() {
+    order.push_back(1);
+    s.Schedule(0, [&]() { order.push_back(3); });
+  });
+  s.Schedule(0, [&]() { order.push_back(2); });
+  s.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// An already-true predicate returns before any event runs or the clock
+// moves — RunUntilPredicate is a pure query in that case.
+TEST(SimulatorTest, RunUntilPredicateAlreadyTrueExecutesNoEvents) {
+  Simulator s;
+  bool ran = false;
+  s.Schedule(Milliseconds(1), [&]() { ran = true; });
+  EXPECT_TRUE(s.RunUntilPredicate([]() { return true; }, Seconds(1)));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.events_executed(), 0u);
+  EXPECT_EQ(s.Now(), kTimeZero);
+}
+
+// --- checkpoint / restore ---
+
+TEST(SimulatorSnapshot, RestoreReplaysTheBranchIdentically) {
+  Simulator s;
+  s.SetEventRetention(true);
+  std::vector<std::pair<Time, uint64_t>> run_log;
+  // A self-rescheduling chain that consumes randomness, so any divergence
+  // in clock, order, or RNG state after a restore shows up in the log.
+  std::function<void()> tick = [&]() {
+    run_log.emplace_back(s.Now(), s.Rand().Next());
+    if (run_log.size() % 8 != 0) {
+      s.Schedule(Milliseconds(1) + s.Rand().NextBelow(50), tick);
+    }
+  };
+  s.Schedule(Milliseconds(1), tick);
+  s.RunFor(Milliseconds(3));
+
+  const Simulator::Checkpoint checkpoint = s.Snapshot();
+  const size_t prefix = run_log.size();
+  s.RunUntilIdle();
+  const std::vector<std::pair<Time, uint64_t>> first_branch = run_log;
+  const uint64_t executed_after = s.events_executed();
+  const Time end_time = s.Now();
+
+  run_log.resize(prefix);
+  s.Restore(checkpoint);
+  EXPECT_EQ(s.Now(), checkpoint.now);
+  EXPECT_EQ(s.events_executed(), checkpoint.events_executed);
+  s.RunUntilIdle();
+  EXPECT_EQ(run_log, first_branch);
+  EXPECT_EQ(s.events_executed(), executed_after);
+  EXPECT_EQ(s.Now(), end_time);
+}
+
+TEST(SimulatorSnapshot, RestoreTruncatesTheTrace) {
+  Simulator s;
+  s.SetEventRetention(true);
+  s.Trace().Append(s.Now(), "test", "before");
+  const Simulator::Checkpoint checkpoint = s.Snapshot();
+  s.Trace().Append(s.Now(), "test", "after");
+  EXPECT_EQ(s.Trace().size(), 2u);
+  s.Restore(checkpoint);
+  EXPECT_EQ(s.Trace().size(), 1u);
+}
+
+// Repeated restore + re-run cycles must not accumulate retained closures:
+// Restore purges the abandoned branch (ids at or above the checkpoint's
+// next sequence number), and the replayed branch re-issues the same ids.
+TEST(SimulatorSnapshot, RepeatedRestoreBoundsRetainedEvents) {
+  Simulator s;
+  s.SetEventRetention(true);
+  s.Schedule(Seconds(5), []() {});  // stays pending across the branches
+  const Simulator::Checkpoint checkpoint = s.Snapshot();
+  size_t retained_after_first_branch = 0;
+  for (int branch = 0; branch < 20; ++branch) {
+    for (int i = 0; i < 10; ++i) {
+      s.Schedule(Milliseconds(i + 1), []() {});
+    }
+    s.RunFor(Milliseconds(20));
+    if (branch == 0) {
+      retained_after_first_branch = s.retained_events();
+    } else {
+      EXPECT_EQ(s.retained_events(), retained_after_first_branch);
+    }
+    s.Restore(checkpoint);
+  }
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(SimulatorSnapshot, RetentionAdoptsAlreadyPendingEvents) {
+  Simulator s;
+  int ran = 0;
+  s.Schedule(Milliseconds(1), [&]() { ++ran; });  // scheduled pre-retention
+  s.SetEventRetention(true);
+  EXPECT_EQ(s.retained_events(), 1u);
+  const Simulator::Checkpoint checkpoint = s.Snapshot();
+  s.RunUntilIdle();
+  EXPECT_EQ(ran, 1);
+  s.Restore(checkpoint);
+  s.RunUntilIdle();
+  EXPECT_EQ(ran, 2);  // the adopted copy replays like a schedule-time one
 }
 
 TEST(TraceTest, FilterByComponentPrefix) {

@@ -32,6 +32,9 @@
 //                       deterministic contract
 //   digest-nonconst     ISystem::StateDigest declarations/definitions not
 //                       marked const — a digest probe must be read-only
+//   snapshot-nonconst   Snapshot() declarations/definitions not marked
+//                       const — capturing a fork snapshot must not perturb
+//                       the run it captures (neat/system.h contract)
 //   unhandled-message   a net::Message subclass with no dynamic_cast
 //                       dispatch site anywhere in the tree — the silent
 //                       unhandled-protocol-event omission
