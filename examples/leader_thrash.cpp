@@ -6,23 +6,40 @@
 // churn and the availability cost, then repeats the run with the
 // SERVER-27125 fix (the arbiter refuses while it can see a healthy leader).
 //
+// This example doubles as the tier-1 regression for the cascade checker
+// (check/causal.h): the run is traced in causal mode, and the checker must
+// flag a self-sustaining causal cycle (step-down -> election -> vote ->
+// elected -> step-down, lap after lap) on the flawed configuration and
+// stay silent on the fixed one. A detection miss or a false positive exits
+// nonzero, which fails the ctest smoke test.
+//
 // Run: ./build/examples/leader_thrash
 
 #include <cstdio>
 
+#include "check/causal.h"
 #include "systems/pbkv/cluster.h"
 
 namespace {
 
-void Run(const pbkv::Options& options, const char* label) {
+struct RunResult {
+  uint64_t elections = 0;
+  uint64_t leadership_changes = 0;
+  std::vector<check::Violation> cascades;
+};
+
+RunResult Run(const pbkv::Options& options, const char* label) {
   std::printf("--- %s ---\n", label);
   pbkv::Cluster::Config config;
   config.options = options;
+  config.options.causal_trace = true;
   pbkv::Cluster cluster(config);
   cluster.Settle(sim::Milliseconds(500));
   const uint64_t elections_before = cluster.TotalElections();
 
   const uint64_t stepdowns_before = cluster.server(1).stepdowns() + cluster.server(2).stepdowns();
+  cluster.env().simulator().Trace().Append(cluster.env().simulator().Now(), "neat", "partition",
+                                           "partial 1|2");
   auto partition = cluster.partitioner().Partial({1}, {2});
 
   // A client pinned to the original primary probes availability once per
@@ -40,27 +57,54 @@ void Run(const pbkv::Options& options, const char* label) {
       ++successes;
     }
   }
-  const uint64_t elections = cluster.TotalElections() - elections_before;
-  const uint64_t leadership_changes =
+  RunResult result;
+  result.elections = cluster.TotalElections() - elections_before;
+  result.leadership_changes =
       cluster.server(1).stepdowns() + cluster.server(2).stepdowns() - stepdowns_before;
   cluster.partitioner().Heal(partition);
+  cluster.env().simulator().Trace().Append(cluster.env().simulator().Now(), "neat", "heal", "");
   cluster.Settle(sim::Milliseconds(500));
 
+  result.cascades = check::CheckCascades(cluster.env().simulator().Trace());
+
   std::printf("elections started during the 4s partition: %llu\n",
-              static_cast<unsigned long long>(elections));
+              static_cast<unsigned long long>(result.elections));
   std::printf("leadership changes (step-downs): %llu\n",
-              static_cast<unsigned long long>(leadership_changes));
-  std::printf("write availability at the original primary: %d/%d probes (%.0f%%)\n\n",
+              static_cast<unsigned long long>(result.leadership_changes));
+  std::printf("write availability at the original primary: %d/%d probes (%.0f%%)\n",
               successes, probes, 100.0 * successes / probes);
+  if (result.cascades.empty()) {
+    std::printf("cascade checker: no self-sustaining cycle\n\n");
+  } else {
+    for (const check::Violation& v : result.cascades) {
+      std::printf("cascade checker: %s: %s\n", v.impact.c_str(), v.description.c_str());
+    }
+    std::printf("\n");
+  }
+  return result;
 }
 
 }  // namespace
 
 int main() {
   std::printf("MongoDB arbiter leader thrash under a partial partition\n\n");
-  Run(pbkv::MongoArbiterOptions(), "arbiter votes for any contestant (the flaw)");
-  pbkv::Options fixed = pbkv::MongoArbiterOptions();
-  fixed.arbiter_checks_leader = true;
-  Run(fixed, "arbiter refuses while it sees a healthy leader (SERVER-27125 fix)");
+  const RunResult flawed = Run(pbkv::MongoArbiterOptions(),
+                               "arbiter votes for any contestant (the flaw)");
+  pbkv::Options fixed_options = pbkv::MongoArbiterOptions();
+  fixed_options.arbiter_checks_leader = true;
+  const RunResult fixed =
+      Run(fixed_options, "arbiter refuses while it sees a healthy leader (SERVER-27125 fix)");
+
+  // Regression assertions: the checker must see the thrash, and only the
+  // thrash.
+  if (flawed.cascades.empty()) {
+    std::printf("FAIL: cascade checker missed the leader thrash on the flawed arbiter\n");
+    return 1;
+  }
+  if (!fixed.cascades.empty()) {
+    std::printf("FAIL: cascade checker flagged the SERVER-27125-fixed configuration\n");
+    return 1;
+  }
+  std::printf("cascade regression: flawed config flagged, fixed config clean\n");
   return 0;
 }

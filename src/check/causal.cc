@@ -1,0 +1,256 @@
+#include "check/causal.h"
+
+#include <algorithm>
+
+namespace check {
+namespace {
+
+// The second whitespace-separated token of a net record detail
+// ("3->1 pbkv.Replicate (partitioned at send)") — the message type.
+std::string MessageType(const std::string& detail) {
+  const size_t first_space = detail.find(' ');
+  if (first_space == std::string::npos) {
+    return detail;
+  }
+  const size_t start = first_space + 1;
+  const size_t end = detail.find(' ', start);
+  return detail.substr(start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+}  // namespace
+
+std::string EscapeLabelAtom(const std::string& atom) {
+  std::string out;
+  out.reserve(atom.size());
+  for (const char c : atom) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case ':':
+        out += "%3a";
+        break;
+      case '>':
+        out += "%3e";
+        break;
+      case '|':
+        out += "%7c";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+int32_t CausalFold::Intern(std::string label) {
+  const auto it = label_ids_.find(label);
+  if (it != label_ids_.end()) {
+    return it->second;
+  }
+  const int32_t id = static_cast<int32_t>(label_names_.size());
+  label_ids_.emplace(label, id);
+  label_names_.push_back(std::move(label));
+  return id;
+}
+
+void CausalFold::AddEdge(int32_t from, int32_t to, bool message) {
+  EdgeStats& stats = edges_[{from, to}];
+  ++stats.laps;
+  if (phase_ == 'h') {
+    ++stats.post_heal_laps;
+  }
+  stats.message = stats.message || message;
+}
+
+void CausalFold::Advance(const sim::TraceLog& trace) {
+  const std::vector<sim::TraceRecord>& records = trace.records();
+  for (size_t i = pos_; i < records.size(); ++i) {
+    const sim::TraceRecord& record = records[i];
+
+    // Script actions are the experiment, not the system: they set the phase
+    // but never become graph nodes.
+    if (record.component == "neat") {
+      if (record.event == "partition") {
+        phase_ = 'p';
+      } else if (record.event == "heal") {
+        phase_ = 'h';
+      }
+      label_of_record_.push_back(-1);
+      continue;
+    }
+
+    std::string label;
+    if (record.component == "net") {
+      // send/deliver/drop: the event name is fixed vocabulary, the message
+      // type is the interesting atom.
+      label = "net:" + record.event + ":" + EscapeLabelAtom(MessageType(record.detail));
+    } else {
+      // Collapse every node of a system onto its component class, so the
+      // same loop bouncing between nodes folds onto one cycle.
+      const size_t dot = record.component.find('.');
+      const std::string cls =
+          dot == std::string::npos ? record.component : record.component.substr(0, dot);
+      label = EscapeLabelAtom(cls) + ":" + EscapeLabelAtom(record.event);
+    }
+    const int32_t label_id = Intern(std::move(label));
+    label_of_record_.push_back(label_id);
+
+    // Cause edge: fault propagation across a handler boundary (send ->
+    // deliver, deliver -> state transition, deliver -> follow-on send).
+    if (record.cause != 0 && record.cause <= label_of_record_.size()) {
+      const int32_t cause_label = label_of_record_[static_cast<size_t>(record.cause) - 1];
+      if (cause_label >= 0 && cause_label != label_id) {
+        AddEdge(cause_label, label_id, /*message=*/true);
+      }
+    }
+
+    // Program-order edge within one concrete component (one node of one
+    // system). Self-loops are skipped: pure periodicity is not causality.
+    if (record.component != "net") {
+      const auto last = last_in_component_.find(record.component);
+      if (last != last_in_component_.end() && last->second != label_id) {
+        AddEdge(last->second, label_id, /*message=*/false);
+      }
+      last_in_component_[record.component] = label_id;
+    }
+  }
+  pos_ = records.size();
+}
+
+std::vector<Cascade> CausalFold::Cascades(const CascadeOptions& options) const {
+  const size_t n = label_names_.size();
+
+  // Filtered adjacency: only edges that recurred enough to be a loop, not
+  // a transient.
+  std::vector<std::vector<int32_t>> adj(n);
+  for (const auto& [edge, stats] : edges_) {
+    if (stats.laps >= options.min_laps) {
+      adj[static_cast<size_t>(edge.first)].push_back(edge.second);
+    }
+  }
+
+  // Tarjan's SCC, iterative. Deterministic: roots are visited in label
+  // order and adjacency lists come from an ordered map.
+  std::vector<int32_t> index(n, -1);
+  std::vector<int32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int32_t> stack;
+  std::vector<std::vector<int32_t>> sccs;
+  int32_t next_index = 0;
+
+  struct Frame {
+    int32_t node;
+    size_t next_child;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) {
+      continue;
+    }
+    std::vector<Frame> frames{{static_cast<int32_t>(root), 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(static_cast<int32_t>(root));
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const size_t v = static_cast<size_t>(frame.node);
+      if (frame.next_child < adj[v].size()) {
+        const int32_t w = adj[v][frame.next_child++];
+        const size_t wi = static_cast<size_t>(w);
+        if (index[wi] == -1) {
+          index[wi] = lowlink[wi] = next_index++;
+          stack.push_back(w);
+          on_stack[wi] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[wi]) {
+          lowlink[v] = std::min(lowlink[v], index[wi]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<int32_t> scc;
+        int32_t w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<size_t>(w)] = false;
+          scc.push_back(w);
+        } while (w != frame.node);
+        sccs.push_back(std::move(scc));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const size_t p = static_cast<size_t>(frames.back().node);
+        lowlink[p] = std::min(lowlink[p], lowlink[v]);
+      }
+    }
+  }
+
+  std::vector<Cascade> out;
+  for (const std::vector<int32_t>& scc : sccs) {
+    // Self-loop edges were never added, so a single-node SCC cannot cycle.
+    if (scc.size() < 2) {
+      continue;
+    }
+    std::vector<bool> member(n, false);
+    for (const int32_t v : scc) {
+      member[static_cast<size_t>(v)] = true;
+    }
+    uint64_t laps = 0;
+    uint64_t post_heal = 0;
+    bool first = true;
+    bool has_message_edge = false;
+    for (const auto& [edge, stats] : edges_) {
+      if (stats.laps < options.min_laps || !member[static_cast<size_t>(edge.first)] ||
+          !member[static_cast<size_t>(edge.second)]) {
+        continue;
+      }
+      laps = first ? stats.laps : std::min(laps, stats.laps);
+      post_heal = first ? stats.post_heal_laps : std::min(post_heal, stats.post_heal_laps);
+      first = false;
+      has_message_edge = has_message_edge || stats.message;
+    }
+    // A cascade is fault propagation: at least one edge must cross a
+    // handler boundary. Timer-driven local alternation alone never flags.
+    if (!has_message_edge) {
+      continue;
+    }
+    if (post_heal < options.min_post_heal_laps) {
+      continue;
+    }
+    std::vector<std::string> labels;
+    labels.reserve(scc.size());
+    for (const int32_t v : scc) {
+      labels.push_back(label_names_[static_cast<size_t>(v)]);
+    }
+    std::sort(labels.begin(), labels.end());
+    std::string signature;
+    for (const std::string& l : labels) {
+      if (!signature.empty()) {
+        signature += '|';
+      }
+      signature += l;
+    }
+    out.push_back(Cascade{std::move(signature), laps, post_heal});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Cascade& a, const Cascade& b) { return a.signature < b.signature; });
+  return out;
+}
+
+std::vector<Violation> CheckCascades(const sim::TraceLog& trace, const CascadeOptions& options) {
+  CausalFold fold;
+  fold.Advance(trace);
+  std::vector<Violation> out;
+  for (const Cascade& cascade : fold.Cascades(options)) {
+    Violation v;
+    v.impact = "cascading failure";
+    v.description = "self-sustaining causal cycle [" + cascade.signature + "] x" +
+                    std::to_string(cascade.laps) + " laps (" +
+                    std::to_string(cascade.post_heal_laps) + " after heal)";
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace check

@@ -88,7 +88,15 @@ void Process::ScheduleTick(uint64_t epoch, sim::Duration period, std::function<v
 }
 
 void Process::TraceEvent(const std::string& event, const std::string& detail) const {
-  simulator_->Trace().Append(simulator_->Now(), name_, event, detail);
+  sim::TraceLog& trace = simulator_->Trace();
+  const uint64_t id = trace.Append(simulator_->Now(), name_, event, detail);
+  // In causal mode this record is a state transition on the happens-before
+  // graph: whatever the handler does next (send a message, record another
+  // transition) was caused by it, so rebind the cause context. The bind is
+  // scoped to the current event by the simulator's per-event CauseScope.
+  if (trace.causal() && id != 0) {
+    trace.BindCause(id);
+  }
 }
 
 }  // namespace cluster

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "check/causal.h"
 #include "check/linearizability.h"
 #include "neat/coverage.h"
 #include "neat/trace_report.h"
@@ -400,6 +401,10 @@ class PbkvRunner : public CaseRunner {
     if (strong_) {
       add(check::CheckStaleReads(history));
     }
+    const sim::TraceLog& trace = system_.Env().simulator().Trace();
+    if (trace.causal()) {
+      add(check::CheckCascades(trace));
+    }
     result.found_failure = !result.violations.empty();
     result.trace_report = observer_->Report();
     result.coverage = observer_->Finish();
@@ -529,6 +534,11 @@ class LocksvcRunner : public CaseRunner {
     cluster.Settle(sim::Seconds(1));
     observer_->Observe();
     result.violations = check::CheckBrokenLocks(cluster.history());
+    const sim::TraceLog& trace = system_.Env().simulator().Trace();
+    if (trace.causal()) {
+      std::vector<check::Violation> cascades = check::CheckCascades(trace);
+      result.violations.insert(result.violations.end(), cascades.begin(), cascades.end());
+    }
     result.found_failure = !result.violations.empty();
     result.trace_report = observer_->Report();
     result.coverage = observer_->Finish();
@@ -694,6 +704,10 @@ class RaftKvRunner : public CaseRunner {
       violation.impact = "non-linearizable";
       violation.description = linearizable.reason;
       result.violations.push_back(std::move(violation));
+    }
+    const sim::TraceLog& trace = system_.Env().simulator().Trace();
+    if (trace.causal()) {
+      add(check::CheckCascades(trace));
     }
     result.found_failure = !result.violations.empty();
     result.trace_report = observer_->Report();
@@ -873,6 +887,10 @@ class MqueueRunner : public CaseRunner {
     };
     add(check::CheckDoubleDequeue(history));
     add(check::CheckLostMessages(history));
+    const sim::TraceLog& trace = system_.Env().simulator().Trace();
+    if (trace.causal()) {
+      add(check::CheckCascades(trace));
+    }
     result.found_failure = !result.violations.empty();
     result.trace_report = observer_->Report();
     result.coverage = observer_->Finish();

@@ -36,6 +36,9 @@ bool IsLeadershipEvent(const std::string& event) {
 }  // namespace
 
 void TraceScan::Advance(const sim::TraceLog& trace) {
+  if (trace.causal()) {
+    causal_.Advance(trace);
+  }
   const std::vector<sim::TraceRecord>& records = trace.records();
   // Traces are bursty — runs of the same event name — so a cached counter
   // iterator and last-bigram check skip most of the per-record lookups.
@@ -102,11 +105,18 @@ void TraceScan::Advance(const sim::TraceLog& trace) {
 std::vector<std::string> TraceScan::Features() const {
   std::vector<std::string> features;
   features.reserve(bigrams_.size() + phase_features_.size());
+  // Atoms are escaped before joining so that an event named "a>b" cannot
+  // fabricate the bigram ("a", "b"), nor one named "p:x" a phase sighting.
+  // Escaping is the identity on every name the model systems emit today,
+  // so existing coverage digests are unchanged (pinned by neat_test).
   for (const auto& [a, b] : bigrams_) {
-    features.push_back("bi:" + a + ">" + b);
+    features.push_back("bi:" + check::EscapeLabelAtom(a) + ">" + check::EscapeLabelAtom(b));
   }
   for (const auto& [phase, name] : phase_features_) {
-    features.push_back(std::string("ph:") + phase + ":" + name);
+    features.push_back(std::string("ph:") + phase + ":" + check::EscapeLabelAtom(name));
+  }
+  for (const check::Cascade& cascade : causal_.Cascades()) {
+    features.push_back("cy:" + cascade.signature);
   }
   std::sort(features.begin(), features.end());
   features.erase(std::unique(features.begin(), features.end()), features.end());

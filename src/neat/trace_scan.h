@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/causal.h"
 #include "neat/trace_report.h"
 #include "sim/trace.h"
 
@@ -35,10 +36,16 @@ class TraceScan {
   // fresh scan). The trace must be the same log the scan has been following
   // and must not have been truncated below the scan's position — the fork
   // machinery guarantees both by restoring scan state and trace together.
+  // When the trace is in causal mode, the embedded CausalFold advances in
+  // lockstep (also suffix-only), feeding the "cy:" feature family.
   void Advance(const sim::TraceLog& trace);
 
   // The features TraceCoverage(trace) would return for the records folded
-  // so far: sorted, distinct "bi:" bigram and "ph:" phase features.
+  // so far: sorted, distinct "bi:" bigram, "ph:" phase, and (causal mode
+  // only) "cy:" cascade-signature features. Event names and message types
+  // are escaped (check::EscapeLabelAtom) before being joined, so a name
+  // containing '>' or ':' cannot collide with a different bigram or phase
+  // sighting.
   std::vector<std::string> Features() const;
 
   // The report Summarize(trace) would return for the records folded so far.
@@ -88,6 +95,11 @@ class TraceScan {
   std::map<std::string, size_t, std::less<>> event_counts_;
   std::map<std::string, size_t, std::less<>> drops_per_link_;
   std::vector<size_t> leadership_records_;
+
+  // Cascade fold, advanced only for causal-mode traces (a non-causal trace
+  // has no message edges, so folding it would find nothing). Value state:
+  // copies into snapshots and rewinds with the rest of the scan.
+  check::CausalFold causal_;
 };
 
 }  // namespace neat

@@ -36,6 +36,10 @@ struct Envelope {
   NodeId dst = kInvalidNode;
   sim::Time sent_at = sim::kTimeZero;
   std::shared_ptr<const Message> msg;
+  // Trace id of the "send" record for this message (0 when causal tracing
+  // is off). The network uses it to stamp the send->deliver edge of the
+  // happens-before graph; it is a stable log position, never an address.
+  uint64_t send_record = 0;
 };
 
 }  // namespace net

@@ -43,6 +43,16 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Message> msg) {
   ++messages_sent_;
   Envelope envelope{src, dst, simulator_->Now(), std::move(msg)};
 
+  // Causal tracing: record the send so the deliver (or in-flight drop) can
+  // name it as its cause. The send record itself inherits the active cause
+  // context — the deliver record of the message whose handler sent this
+  // one — which is what stitches multi-hop chains.
+  if (simulator_->Trace().causal()) {
+    envelope.send_record =
+        simulator_->Trace().Append(simulator_->Now(), "net", "send",
+                                   LinkString(src, dst) + " " + envelope.msg->TypeName());
+  }
+
   if (!connectivity_.Allows(src, dst)) {
     ++messages_dropped_;
     simulator_->Trace().Append(simulator_->Now(), "net", "drop",
@@ -76,7 +86,8 @@ void Network::Deliver(Envelope envelope) {
     ++messages_dropped_;
     simulator_->Trace().Append(simulator_->Now(), "net", "drop",
                                LinkString(envelope.src, envelope.dst) + " " +
-                                   envelope.msg->TypeName() + " (partitioned in flight)");
+                                   envelope.msg->TypeName() + " (partitioned in flight)",
+                               envelope.send_record);
     return;
   }
   auto it = handlers_.find(envelope.dst);
@@ -84,10 +95,23 @@ void Network::Deliver(Envelope envelope) {
     ++messages_dropped_;
     simulator_->Trace().Append(simulator_->Now(), "net", "drop",
                                LinkString(envelope.src, envelope.dst) + " " +
-                                   envelope.msg->TypeName() + " (no receiver)");
+                                   envelope.msg->TypeName() + " (no receiver)",
+                               envelope.send_record);
     return;
   }
   ++messages_delivered_;
+  if (simulator_->Trace().causal()) {
+    // Stamp the send->deliver edge, then run the handler under a cause
+    // scope so every record it appends (state transitions, sends of
+    // follow-on messages) names this delivery as its cause.
+    const uint64_t deliver_record = simulator_->Trace().Append(
+        simulator_->Now(), "net", "deliver",
+        LinkString(envelope.src, envelope.dst) + " " + envelope.msg->TypeName(),
+        envelope.send_record);
+    sim::CauseScope scope(simulator_->Trace(), deliver_record);
+    it->second(envelope);
+    return;
+  }
   it->second(envelope);
 }
 

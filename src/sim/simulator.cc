@@ -70,6 +70,10 @@ void Simulator::RunOne() {
   live_.erase(event.seq);
   now_ = event.when;
   ++events_executed_;
+  // Each event runs with a clean cause context: a BindCause issued inside a
+  // handler (cluster/process.cc) is scoped to that event and cannot leak
+  // into an unrelated timer callback.
+  CauseScope scope(trace_, 0);
   event.fn();
 }
 

@@ -7,17 +7,31 @@
 
 namespace sim {
 
-void TraceLog::Append(Time when, std::string component, std::string event, std::string detail) {
+uint64_t TraceLog::Append(Time when, std::string component, std::string event, std::string detail,
+                          uint64_t cause) {
+  ++appended_;
   if (!enabled_) {
-    return;
+    return 0;
   }
-  records_.push_back(TraceRecord{when, std::move(component), std::move(event), std::move(detail)});
+  if (cause == 0) {
+    cause = cause_context_;
+  }
+  const uint64_t id = static_cast<uint64_t>(records_.size()) + 1;
+  records_.push_back(
+      TraceRecord{when, std::move(component), std::move(event), std::move(detail), id, cause});
+  return id;
 }
 
 std::vector<TraceRecord> TraceLog::Filter(const std::string& prefix) const {
   std::vector<TraceRecord> out;
   for (const TraceRecord& r : records_) {
-    if (r.component.rfind(prefix, 0) == 0) {
+    // Match on component boundary: exact, or `prefix + '.'` — so "pbkv"
+    // matches "pbkv.n1" but not "pbkv2".
+    const bool matches =
+        prefix.empty() || r.component == prefix ||
+        (r.component.size() > prefix.size() && r.component[prefix.size()] == '.' &&
+         r.component.compare(0, prefix.size(), prefix) == 0);
+    if (matches) {
       out.push_back(r);
     }
   }

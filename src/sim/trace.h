@@ -3,11 +3,27 @@
 // Systems append trace records as they execute; tests and benches inspect
 // the trace to explain failures (the NEAT paper's future-work item of
 // "collecting detailed system traces of failures").
+//
+// Records carry optional causal identity: every retained record has a
+// stable 1-based id (its position in the log), and may name the id of the
+// record that caused it. net::Network stamps send->deliver edges and wraps
+// handler execution in a CauseScope so that records appended while a
+// message is being handled inherit the delivery record as their cause.
+// check/causal.h stitches these edges (plus per-component program order)
+// into a happens-before graph and looks for self-sustaining cycles.
+//
+// Id stability under snapshot/restore: ids are positions, and
+// Simulator::Restore truncates the log back to its checkpoint length, so a
+// forked run re-issues exactly the ids the straight-through run would have
+// issued. Never derive an id from an address or any other process-local
+// artifact — that breaks fork==replay byte-identity (detlint rule
+// `address-derived-id`).
 
 #ifndef SIM_TRACE_H_
 #define SIM_TRACE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,13 +37,22 @@ struct TraceRecord {
   std::string component;  // e.g. "net", "pbkv.n2", "neat"
   std::string event;      // e.g. "drop", "elected", "step-down"
   std::string detail;
+  uint64_t id = 0;     // 1-based position in the log; 0 = not retained
+  uint64_t cause = 0;  // id of the causally preceding record; 0 = none
 };
 
 class TraceLog {
  public:
-  void Append(Time when, std::string component, std::string event, std::string detail = "");
+  // Appends a record and returns its 1-based id (0 if the log is disabled
+  // and the record was counted but not retained). `cause` names the record
+  // that causally precedes this one; when 0, the active CauseScope context
+  // (if any) is used instead.
+  uint64_t Append(Time when, std::string component, std::string event, std::string detail = "",
+                  uint64_t cause = 0);
 
-  // Returns records whose component starts with `prefix` (all if empty).
+  // Returns records whose component equals `prefix` or lives under it as a
+  // dotted sub-component (`prefix + '.' + ...`); all records if empty.
+  // "pbkv" matches "pbkv" and "pbkv.n1" but not "pbkv2".
   std::vector<TraceRecord> Filter(const std::string& prefix) const;
 
   // Counts records with the given event name.
@@ -46,24 +71,73 @@ class TraceLog {
 
   // Drops every record past the first `size` ones. Snapshot/restore rewinds
   // the log to its length at the checkpoint; a no-op if the log is already
-  // that short (or the log is disabled and holds nothing).
+  // that short (or the log is disabled and holds nothing). Because ids are
+  // positions, truncation also rewinds id assignment: the next Append
+  // re-issues id `size + 1`, exactly as a straight-through run would.
+  // appended() is NOT rewound — it is a monotonic call counter.
   void Truncate(size_t size) {
     if (records_.size() > size) {
       records_.resize(size);
     }
   }
 
-  // When enabled (default), records are retained; disabling turns Append
-  // into a counter-only operation for throughput benchmarks.
+  // When enabled (default), records are retained; disabling makes Append
+  // counter-only for throughput benchmarks: nothing is retained (size()
+  // and CountEvent report 0) but appended() still counts every call.
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
+
+  // Total number of Append calls ever made, including those discarded
+  // while the log was disabled. Monotonic: unaffected by Truncate/Clear.
+  uint64_t appended() const { return appended_; }
+
+  // Opt-in causal tracing. When set, net::Network additionally records
+  // send/deliver events (so message edges appear in the trace) and systems
+  // run the cascade checker over the stitched graph. Off by default so
+  // existing traces — and the coverage digests derived from them — are
+  // byte-identical to pre-causal builds.
+  void set_causal(bool causal) { causal_ = causal; }
+  bool causal() const { return causal_; }
+
+  // Rebinds the active cause context to `cause` for the remainder of the
+  // enclosing scope: a state-transition record becomes the cause of the
+  // follow-on records (message sends, further transitions) its handler
+  // produces. The extent is bounded by the nearest CauseScope — the
+  // simulator wraps every event execution in one, so a bind never leaks
+  // past the callback that issued it.
+  void BindCause(uint64_t cause) { cause_context_ = cause; }
 
   // Renders the trace as one line per record, for debugging output.
   std::string Dump() const;
 
  private:
+  friend class CauseScope;
+
   bool enabled_ = true;
+  bool causal_ = false;
+  uint64_t appended_ = 0;
+  uint64_t cause_context_ = 0;  // active cause for Append(cause=0)
   std::vector<TraceRecord> records_;
+};
+
+// RAII cause context: while alive, records appended to `log` without an
+// explicit cause are stamped with `cause` (the id of the record being
+// handled — typically a deliver record). Scopes nest; the previous context
+// is restored on destruction. Not a synchronization primitive — the sim is
+// single-threaded by contract (see detlint `thread-primitive`).
+class CauseScope {
+ public:
+  CauseScope(TraceLog& log, uint64_t cause) : log_(&log), saved_(log.cause_context_) {
+    log_->cause_context_ = cause;
+  }
+  ~CauseScope() { log_->cause_context_ = saved_; }
+
+  CauseScope(const CauseScope&) = delete;
+  CauseScope& operator=(const CauseScope&) = delete;
+
+ private:
+  TraceLog* log_;
+  uint64_t saved_;
 };
 
 }  // namespace sim

@@ -40,6 +40,11 @@ struct Options {
   sim::Duration acquire_timeout = sim::Milliseconds(250);
   // How long a holding client may be silent before reclaim.
   sim::Duration client_lease = sim::Milliseconds(300);
+
+  // Collect the trace in causal mode (sim::TraceLog::set_causal) so the
+  // cascade checker (check/causal.h) can stitch the happens-before graph.
+  // Off by default: non-causal traces stay byte-identical.
+  bool causal_trace = false;
 };
 
 // The corrected configuration.

@@ -6,6 +6,9 @@ namespace mqueue {
 
 Cluster::Cluster(const Config& config)
     : env_(neat::TestEnv::Options{config.seed, config.use_switch_backend}) {
+  if (config.options.causal_trace) {
+    env_.simulator().Trace().set_causal(true);
+  }
   for (int i = 0; i < config.options.num_brokers; ++i) {
     broker_ids_.push_back(static_cast<net::NodeId>(i + 1));
   }

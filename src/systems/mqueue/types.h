@@ -37,6 +37,11 @@ struct Options {
   int miss_threshold = 3;
   sim::Duration replication_timeout = sim::Milliseconds(150);
   sim::Duration zk_session_timeout = sim::Milliseconds(300);
+
+  // Collect the trace in causal mode (sim::TraceLog::set_causal) so the
+  // cascade checker (check/causal.h) can stitch the happens-before graph.
+  // Off by default: non-causal traces stay byte-identical.
+  bool causal_trace = false;
 };
 
 inline Options CorrectOptions() { return Options{}; }

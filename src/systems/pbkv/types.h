@@ -104,6 +104,13 @@ struct Options {
   int stepdown_miss_threshold = 6;   // primary steps down after this (the window)
   sim::Duration replication_timeout = sim::Milliseconds(120);
   sim::Duration read_guard_timeout = sim::Milliseconds(120);
+
+  // --- observability ---
+  // Collect the trace in causal mode (sim::TraceLog::set_causal): the
+  // network records send/deliver edges and the cascade checker
+  // (check/causal.h) runs over the stitched happens-before graph. Off by
+  // default so non-causal traces and coverage digests stay byte-identical.
+  bool causal_trace = false;
 };
 
 // The corrected configuration: all safety knobs on.

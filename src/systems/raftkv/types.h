@@ -52,6 +52,11 @@ struct Options {
   // Election timeouts are drawn uniformly from [min, max).
   sim::Duration election_timeout_min = sim::Milliseconds(300);
   sim::Duration election_timeout_max = sim::Milliseconds(600);
+
+  // Collect the trace in causal mode (sim::TraceLog::set_causal) so the
+  // cascade checker (check/causal.h) can stitch the happens-before graph.
+  // Off by default: non-causal traces stay byte-identical.
+  bool causal_trace = false;
 };
 
 inline Options CorrectOptions() { return Options{}; }

@@ -1,0 +1,28 @@
+// Fixture: address-derived-id. Ids fed to traces, causal edges, or digests
+// must be stable log positions, never pointer values.
+#include <cstdint>
+
+namespace sys {
+
+struct Msg {
+  int payload = 0;
+};
+
+uint64_t MintIdFromAddress(const Msg* msg) {
+  return reinterpret_cast<uint64_t>(msg);
+}
+
+uintptr_t AsInteger(const Msg* msg) {
+  return reinterpret_cast<uintptr_t>(msg);
+}
+
+// Pointer-to-pointer reinterpretation mints no integer: clean.
+const char* FineBytes(Msg* msg) {
+  return reinterpret_cast<const char*>(msg);
+}
+
+uint64_t* FineAlias(Msg* msg) {
+  return reinterpret_cast<uint64_t*>(msg);
+}
+
+}  // namespace sys

@@ -124,6 +124,7 @@ INSTANTIATE_TEST_SUITE_P(
                       GoldenCase{"digest_nonconst", false},
                       GoldenCase{"snapshot_nonconst", false},
                       GoldenCase{"messages", false}, GoldenCase{"suppressed", false},
+                      GoldenCase{"address_id", false},
                       GoldenCase{"baseline_case", true}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
       return std::string(info.param.name);
@@ -138,6 +139,19 @@ TEST(Rules, RawRandFlagsBothConstructs) {
   EXPECT_EQ(result.findings[0].subject, "random_device");
   EXPECT_EQ(result.findings[1].rule, "raw-rand");
   EXPECT_EQ(result.findings[1].subject, "rand");
+}
+
+TEST(Rules, AddressDerivedIdFlagsIntegerMintingOnly) {
+  const AnalysisResult result = AnalyzeFixture("address_id");
+  ASSERT_EQ(result.findings.size(), 3u);
+  for (const Finding& finding : result.findings) {
+    EXPECT_EQ(finding.rule, "address-derived-id");
+  }
+  EXPECT_EQ(result.findings[0].subject, "reinterpret_cast<uint64_t>");
+  EXPECT_EQ(result.findings[1].subject, "uintptr_t");
+  EXPECT_EQ(result.findings[2].subject, "reinterpret_cast<uintptr_t>");
+  // The pointer-to-pointer casts (FineBytes/FineAlias) stay clean: no
+  // integer is minted from the address.
 }
 
 TEST(Rules, WallClockFlagsChronoTypesAndTimeCalls) {

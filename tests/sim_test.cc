@@ -419,6 +419,21 @@ TEST(TraceTest, FilterByComponentPrefix) {
   EXPECT_EQ(log.Filter("").size(), 3u);
 }
 
+TEST(TraceTest, FilterMatchesOnComponentBoundaryOnly) {
+  // "pbkv" must match the component itself and its dotted sub-components,
+  // but not a different component that merely shares the prefix.
+  TraceLog log;
+  log.Append(1, "pbkv", "boot");
+  log.Append(2, "pbkv.n1", "elected");
+  log.Append(3, "pbkv2", "boot");
+  log.Append(4, "pbkv2.n1", "elected");
+  const auto matched = log.Filter("pbkv");
+  ASSERT_EQ(matched.size(), 2u);
+  EXPECT_EQ(matched[0].component, "pbkv");
+  EXPECT_EQ(matched[1].component, "pbkv.n1");
+  EXPECT_EQ(log.Filter("pbkv2").size(), 2u);
+}
+
 TEST(TraceTest, CountEvent) {
   TraceLog log;
   log.Append(1, "a", "drop");
@@ -432,6 +447,72 @@ TEST(TraceTest, DisabledLogRecordsNothing) {
   log.set_enabled(false);
   log.Append(1, "a", "x");
   EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceTest, DisabledLogStillCountsAppends) {
+  // The documented counter-only mode for throughput benches: nothing is
+  // retained, but appended() counts every call, before and after toggling.
+  TraceLog log;
+  log.Append(1, "a", "x");
+  EXPECT_EQ(log.appended(), 1u);
+  log.set_enabled(false);
+  log.Append(2, "a", "y");
+  log.Append(3, "a", "z");
+  EXPECT_EQ(log.size(), 1u);  // only the enabled-time record is retained
+  EXPECT_EQ(log.CountEvent("y"), 0u);
+  EXPECT_EQ(log.appended(), 3u);
+  log.set_enabled(true);
+  log.Append(4, "a", "w");
+  EXPECT_EQ(log.size(), 2u);  // the enabled-time records only
+  EXPECT_EQ(log.appended(), 4u);
+}
+
+TEST(TraceTest, AppendReturnsPositionalIdsAndTruncateRewindsThem) {
+  TraceLog log;
+  EXPECT_EQ(log.Append(1, "a", "x"), 1u);
+  EXPECT_EQ(log.Append(2, "a", "y"), 2u);
+  EXPECT_EQ(log.Append(3, "a", "z"), 3u);
+  log.Truncate(1);
+  // Ids are positions, so a rewind re-issues them exactly — the property
+  // fork/replay byte-identity rests on.
+  EXPECT_EQ(log.Append(4, "a", "y2"), 2u);
+  EXPECT_EQ(log.records()[1].id, 2u);
+  // A disabled log issues no ids at all.
+  log.set_enabled(false);
+  EXPECT_EQ(log.Append(5, "a", "q"), 0u);
+}
+
+TEST(TraceTest, CauseContextStampsRecords) {
+  TraceLog log;
+  const uint64_t deliver = log.Append(1, "net", "deliver");
+  EXPECT_EQ(log.records()[0].cause, 0u);
+  {
+    CauseScope scope(log, deliver);
+    const uint64_t transition = log.Append(2, "sys.n1", "step-down");
+    EXPECT_EQ(log.records()[1].cause, deliver);
+    // A rebind redirects later appends to the newest transition...
+    log.BindCause(transition);
+    log.Append(3, "net", "send");
+    EXPECT_EQ(log.records()[2].cause, transition);
+    // ...but an explicit cause always wins over the context.
+    log.Append(4, "net", "deliver", "", deliver);
+    EXPECT_EQ(log.records()[3].cause, deliver);
+  }
+  // The scope restored the outer (empty) context, including over a rebind.
+  log.Append(5, "sys.n1", "tick");
+  EXPECT_EQ(log.records()[4].cause, 0u);
+}
+
+TEST(TraceTest, TruncateOnDisabledLogIsANoOp) {
+  TraceLog log;
+  log.Append(1, "a", "x");
+  log.set_enabled(false);
+  log.Append(2, "a", "y");
+  log.Truncate(0);  // rewinds the retained record
+  EXPECT_EQ(log.size(), 0u);
+  log.Truncate(5);  // larger than the log: nothing to drop
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.appended(), 2u);  // the monotonic counter never rewinds
 }
 
 TEST(TraceTest, EventBigramsAreDistinctConsecutivePairsInFirstAppearanceOrder) {
@@ -453,6 +534,32 @@ TEST(TraceTest, EventBigramsOfShortLogsAreEmpty) {
   EXPECT_TRUE(log.EventBigrams().empty());
   log.Append(1, "a", "send");
   EXPECT_TRUE(log.EventBigrams().empty());
+}
+
+TEST(TraceTest, EventBigramsAlternatingPairsDefeatTheRunCompressionFastPath) {
+  // The scan skips consecutive identical bigrams (runs of one event name).
+  // Strict A/B alternation makes every adjacent bigram differ from the
+  // previous one, so the fast path never fires — and must still yield
+  // exactly the two distinct pairs.
+  TraceLog log;
+  for (int i = 0; i < 8; ++i) {
+    log.Append(i + 1, "c", i % 2 == 0 ? "a" : "b");
+  }
+  const auto bigrams = log.EventBigrams();
+  ASSERT_EQ(bigrams.size(), 2u);
+  EXPECT_EQ(bigrams[0], (std::pair<std::string, std::string>{"a", "b"}));
+  EXPECT_EQ(bigrams[1], (std::pair<std::string, std::string>{"b", "a"}));
+}
+
+TEST(TraceTest, EventBigramsCompressRunsOfOneName) {
+  // A run of the same event produces the self-pair once, however long.
+  TraceLog log;
+  for (int i = 0; i < 6; ++i) {
+    log.Append(i + 1, "c", "hb");
+  }
+  const auto bigrams = log.EventBigrams();
+  ASSERT_EQ(bigrams.size(), 1u);
+  EXPECT_EQ(bigrams[0], (std::pair<std::string, std::string>{"hb", "hb"}));
 }
 
 TEST(TraceTest, DumpContainsRecords) {

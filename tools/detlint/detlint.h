@@ -30,6 +30,11 @@
 //                       function that also touches a TraceLog, CoverageMap,
 //                       or digest — hash order is not part of the
 //                       deterministic contract
+//   address-derived-id  reinterpret_cast to an integral type, or any use
+//                       of uintptr_t/intptr_t, in src/ — trace record ids
+//                       and causal edges must be stable log positions;
+//                       an address-derived id breaks fork/replay
+//                       byte-identity
 //   digest-nonconst     ISystem::StateDigest declarations/definitions not
 //                       marked const — a digest probe must be read-only
 //   snapshot-nonconst   Snapshot() declarations/definitions not marked

@@ -431,6 +431,65 @@ void CheckUnorderedIteration(const SourceFile& file, std::vector<Finding>* out) 
   }
 }
 
+// Trace record ids and causal edges must come from stable log positions
+// (sim/trace.h): an id minted from a pointer value differs between the
+// forked and the replayed execution of the same case and silently breaks
+// the fork==replay byte-identity contract. Flag the two ways an address
+// becomes an integer in src/: a reinterpret_cast to a (non-pointer)
+// integral type, and any use of the uintptr_t/intptr_t conversion types.
+void CheckAddressDerivedIds(const SourceFile& file, std::vector<Finding>* out) {
+  if (!PathContains(file.path, "src")) {
+    return;
+  }
+  static const std::set<std::string> kIntegral = {
+      "uint64_t", "uint32_t", "uint16_t", "int64_t", "int32_t", "size_t",
+      "uintptr_t", "intptr_t", "long", "int", "unsigned", "ptrdiff_t"};
+  const std::vector<Token>& tokens = file.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != TokKind::kIdentifier) {
+      continue;
+    }
+    if (IsIdent(token, "reinterpret_cast") && NextIs(tokens, i, "<")) {
+      // Scan the cast target up to the closing '>'. A '*' makes it a
+      // pointer cast (no integer is minted); otherwise any integral name
+      // in the target means address-to-integer.
+      std::string integral;
+      bool pointer_target = false;
+      size_t j = i + 2;
+      for (; j < tokens.size(); ++j) {
+        if (tokens[j].kind == TokKind::kPunct &&
+            (tokens[j].text == ">" || tokens[j].text == "(")) {
+          break;
+        }
+        if (tokens[j].kind == TokKind::kPunct && tokens[j].text == "*") {
+          pointer_target = true;
+        }
+        if (tokens[j].kind == TokKind::kIdentifier && kIntegral.count(tokens[j].text) > 0) {
+          integral = tokens[j].text;
+        }
+      }
+      if (!integral.empty() && !pointer_target) {
+        Emit(file, token, "address-derived-id",
+             "reinterpret_cast to integral type '" + integral +
+                 "' mints an address-derived value; ids fed to traces, causal "
+                 "edges, or digests must be stable log positions (fork/replay "
+                 "byte-identity)",
+             "reinterpret_cast<" + integral + ">", out);
+      }
+      i = j;  // do not re-flag the conversion type inside the cast
+      continue;
+    }
+    if (IsIdent(token, "uintptr_t") || IsIdent(token, "intptr_t")) {
+      Emit(file, token, "address-derived-id",
+           "pointer-to-integer type '" + token.text +
+               "' — ids fed to traces, causal edges, or digests must be stable "
+               "log positions, never addresses (fork/replay byte-identity)",
+           token.text, out);
+    }
+  }
+}
+
 // --- model-safety rules -----------------------------------------------------
 
 void CheckDigestConst(const SourceFile& file, std::vector<Finding>* out) {
@@ -662,6 +721,7 @@ AnalysisResult Analyze(const std::vector<SourceFile>& sources,
     CheckThreadPrimitives(file, &raw);
     CheckStaticLocals(file, &raw);
     CheckUnorderedIteration(file, &raw);
+    CheckAddressDerivedIds(file, &raw);
     CheckDigestConst(file, &raw);
     CheckSnapshotConst(file, &raw);
     CheckBadSuppressions(file, &raw);
