@@ -346,6 +346,7 @@ class PbkvRunner : public CaseRunner {
   }
 
   TestEnv& Env() override { return system_.Env(); }
+  ISystem* System() override { return &system_; }
 
   void ApplyEvent(const TestEvent& event) override {
     pbkv::Cluster& cluster = system_.cluster();
@@ -502,6 +503,7 @@ class LocksvcRunner : public CaseRunner {
   }
 
   TestEnv& Env() override { return system_.Env(); }
+  ISystem* System() override { return &system_; }
 
   void ApplyEvent(const TestEvent& event) override {
     locksvc::Cluster& cluster = system_.cluster();
@@ -622,6 +624,7 @@ class RaftKvRunner : public CaseRunner {
   }
 
   TestEnv& Env() override { return system_.Env(); }
+  ISystem* System() override { return &system_; }
 
   void ApplyEvent(const TestEvent& event) override {
     raftkv::Cluster& cluster = system_.cluster();
@@ -821,6 +824,7 @@ class MqueueRunner : public CaseRunner {
   }
 
   TestEnv& Env() override { return system_.Env(); }
+  ISystem* System() override { return &system_; }
 
   void ApplyEvent(const TestEvent& event) override {
     mqueue::Cluster& cluster = system_.cluster();

@@ -48,6 +48,11 @@ class CaseRunner {
   // enables simulator event retention through it before snapshotting).
   virtual TestEnv& Env() = 0;
 
+  // The live system under test, for post-Finish status probes (the
+  // scenario DSL's status-converges expectation). Null when the runner
+  // does not expose one.
+  virtual ISystem* System() { return nullptr; }
+
   // Applies one test event to the live system.
   virtual void ApplyEvent(const TestEvent& event) = 0;
 

@@ -74,9 +74,104 @@ void Network::Send(NodeId src, NodeId dst, std::shared_ptr<const Message> msg) {
     delay += static_cast<sim::Duration>(
         rng_.NextBelow(static_cast<uint64_t>(latency_.jitter) + 1));
   }
+  if (!faults_.empty() && ApplyFaults(envelope, &delay)) {
+    return;  // dropped or held by a fault rule
+  }
+  ScheduleDelivery(std::move(envelope), delay);
+}
+
+void Network::ScheduleDelivery(Envelope envelope, sim::Duration delay) {
   simulator_->Schedule(delay, [this, envelope = std::move(envelope)]() mutable {
     Deliver(std::move(envelope));
   });
+}
+
+FaultRuleId Network::AddFaultRule(const FaultRule& rule) {
+  const FaultRuleId id = next_fault_id_++;
+  faults_[id].rule = rule;
+  return id;
+}
+
+void Network::RemoveFaultRule(FaultRuleId id) {
+  auto it = faults_.find(id);
+  if (it == faults_.end()) {
+    return;
+  }
+  FlushHeldMessage(it->second);
+  faults_.erase(it);
+}
+
+void Network::ClearFaultRules() {
+  for (auto& [id, fault] : faults_) {
+    FlushHeldMessage(fault);
+  }
+  faults_.clear();
+}
+
+void Network::FlushHeldMessage(InstalledFault& fault) {
+  if (!fault.holding) {
+    return;
+  }
+  simulator_->Trace().Append(simulator_->Now(), "net", "fault",
+                             LinkString(fault.held.src, fault.held.dst) + " " +
+                                 fault.held.msg->TypeName() + " flush",
+                             fault.held.send_record);
+  ScheduleDelivery(std::move(fault.held), fault.held_delay);
+  fault.holding = false;
+  fault.held = Envelope{};
+}
+
+bool Network::ApplyFaults(Envelope& envelope, sim::Duration* delay) {
+  const std::string type = envelope.msg->TypeName();
+  for (auto& [id, fault] : faults_) {
+    const FaultRule& rule = fault.rule;
+    if (rule.type_name != type) {
+      continue;
+    }
+    if (rule.src != kInvalidNode && rule.src != envelope.src) {
+      continue;
+    }
+    if (rule.dst != kInvalidNode && rule.dst != envelope.dst) {
+      continue;
+    }
+    if (rule.limit != 0 && fault.matched >= rule.limit) {
+      continue;
+    }
+    ++fault.matched;
+    ++messages_faulted_;
+    const std::string link_and_type = LinkString(envelope.src, envelope.dst) + " " + type;
+    switch (rule.action) {
+      case FaultRule::Action::kDrop:
+        ++messages_dropped_;
+        simulator_->Trace().Append(simulator_->Now(), "net", "drop",
+                                   link_and_type + " (fault drop)", envelope.send_record);
+        return true;
+      case FaultRule::Action::kDelay:
+        *delay += rule.delay;
+        simulator_->Trace().Append(simulator_->Now(), "net", "fault",
+                                   link_and_type + " delay", envelope.send_record);
+        return false;  // deliver, later
+      case FaultRule::Action::kReorder:
+        if (!fault.holding) {
+          fault.holding = true;
+          fault.held = std::move(envelope);
+          fault.held_delay = *delay;
+          simulator_->Trace().Append(simulator_->Now(), "net", "fault",
+                                     link_and_type + " hold", fault.held.send_record);
+          return true;
+        }
+        // The successor goes out with its own delay; the held predecessor
+        // follows just after it, completing the pairwise swap.
+        simulator_->Trace().Append(simulator_->Now(), "net", "fault",
+                                   link_and_type + " swap", envelope.send_record);
+        ScheduleDelivery(std::move(envelope), *delay);
+        ScheduleDelivery(std::move(fault.held), *delay + sim::Microseconds(1));
+        fault.holding = false;
+        fault.held = Envelope{};
+        return true;
+    }
+  }
+  return false;
 }
 
 void Network::Deliver(Envelope envelope) {

@@ -37,6 +37,33 @@ struct LatencyModel {
   sim::Duration jitter = sim::Microseconds(100);  // uniform in [0, jitter]
 };
 
+// A message-level fault: drop, delay, or reorder messages of one concrete
+// type (matched against Message::TypeName()), optionally restricted to one
+// src/dst and to the first `limit` matching messages. This is the scenario
+// DSL's fault model beyond partitions — a partition kills every message on
+// a link, while a fault rule can kill only the heartbeats and let the data
+// traffic through (or vice versa), which no partition can express.
+//
+// Semantics (all deterministic):
+//   kDrop     the message is dropped at send time, after the partition and
+//             flaky-link checks, recorded as a "(fault drop)" trace drop.
+//   kDelay    delivery is postponed by `delay` on top of the latency model.
+//   kReorder  pairwise swap: the first matching message is held; when the
+//             next one arrives, it is delivered first and the held one is
+//             released just after it. A held message still waiting when the
+//             rule is removed (or ClearFaultRules runs) is flushed with its
+//             originally drawn delay.
+struct FaultRule {
+  enum class Action { kDrop, kDelay, kReorder };
+  std::string type_name;         // exact Message::TypeName() match
+  Action action = Action::kDrop;
+  sim::Duration delay = 0;       // extra latency for kDelay
+  uint64_t limit = 0;            // max matched messages; 0 = unlimited
+  NodeId src = kInvalidNode;     // restrict to a sender; kInvalidNode = any
+  NodeId dst = kInvalidNode;     // restrict to a receiver; kInvalidNode = any
+};
+using FaultRuleId = uint64_t;
+
 class Network {
  public:
   using Handler = std::function<void(const Envelope&)>;
@@ -76,6 +103,22 @@ class Network {
   // the causes of partial partitions the paper cites.
   void SetLinkLoss(NodeId src, NodeId dst, double loss);
 
+  // --- message-level faults (scenario DSL) ---
+  //
+  // Rules are consulted in Send, after the partition verdict and the
+  // flaky-link draw, in installation order; the first matching rule acts.
+  // With no rules installed the send path is byte-identical to a build
+  // without this hook: no extra trace records, no extra RNG draws.
+  FaultRuleId AddFaultRule(const FaultRule& rule);
+  // Removes one rule, flushing its held reorder message if any. Unknown ids
+  // are ignored (a phase may end after an explicit clear-faults step).
+  void RemoveFaultRule(FaultRuleId id);
+  // Removes every rule, flushing all held messages.
+  void ClearFaultRules();
+  bool HasFaultRules() const { return !faults_.empty(); }
+  // Messages a fault rule acted on (dropped, delayed, held, or swapped).
+  uint64_t messages_faulted() const { return messages_faulted_; }
+
   void set_latency(LatencyModel latency) { latency_ = latency; }
   const LatencyModel& latency() const { return latency_; }
 
@@ -91,13 +134,27 @@ class Network {
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
 
+  // One installed fault rule plus its match state. Part of Network::State:
+  // a forked run must resume with the same match counters and held reorder
+  // message the straight-through run had at the snapshot point. The held
+  // envelope's message is an immutable value object, safe to share between
+  // a snapshot and the live network.
+  struct InstalledFault {
+    FaultRule rule;
+    uint64_t matched = 0;        // messages this rule has acted on
+    bool holding = false;        // kReorder: a message is held back
+    Envelope held;
+    sim::Duration held_delay = 0;  // the held message's drawn delivery delay
+  };
+
   // --- snapshot / restore (NEAT fork executor) ---
   //
   // Value state of the network itself: the private RNG substream, the
-  // latency/loss configuration, and the message counters. Handlers are NOT
-  // captured — they are closures over live processes, and Process kernel
-  // restore re-registers or detaches them. The connectivity cache is not
-  // captured either: restoring the partition backend's rules re-syncs it
+  // latency/loss configuration, the message counters, and the fault-rule
+  // table with its match state. Handlers are NOT captured — they are
+  // closures over live processes, and Process kernel restore re-registers
+  // or detaches them. The connectivity cache is not captured either:
+  // restoring the partition backend's rules re-syncs it
   // (PartitionBackend::RestoreRules notifies every attached cache).
   struct State {
     sim::Rng rng{1};
@@ -106,10 +163,14 @@ class Network {
     uint64_t messages_sent = 0;
     uint64_t messages_delivered = 0;
     uint64_t messages_dropped = 0;
+    std::map<FaultRuleId, InstalledFault> faults;
+    FaultRuleId next_fault_id = 1;
+    uint64_t messages_faulted = 0;
   };
   State CaptureState() const {
     return State{rng_,           latency_,            link_loss_,
-                 messages_sent_, messages_delivered_, messages_dropped_};
+                 messages_sent_, messages_delivered_, messages_dropped_,
+                 faults_,        next_fault_id_,      messages_faulted_};
   }
   void RestoreState(const State& state) {
     rng_ = state.rng;
@@ -118,10 +179,18 @@ class Network {
     messages_sent_ = state.messages_sent;
     messages_delivered_ = state.messages_delivered;
     messages_dropped_ = state.messages_dropped;
+    faults_ = state.faults;
+    next_fault_id_ = state.next_fault_id;
+    messages_faulted_ = state.messages_faulted;
   }
 
  private:
   void Deliver(Envelope envelope);
+  void ScheduleDelivery(Envelope envelope, sim::Duration delay);
+  // Returns true when a fault rule consumed the envelope (dropped or held);
+  // a kDelay match adds to *delay and lets the send proceed.
+  bool ApplyFaults(Envelope& envelope, sim::Duration* delay);
+  void FlushHeldMessage(InstalledFault& fault);
 
   sim::Simulator* simulator_;
   PartitionBackend* backend_;
@@ -133,6 +202,9 @@ class Network {
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
+  std::map<FaultRuleId, InstalledFault> faults_;
+  FaultRuleId next_fault_id_ = 1;
+  uint64_t messages_faulted_ = 0;
 };
 
 }  // namespace net

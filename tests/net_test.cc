@@ -447,6 +447,180 @@ TEST_F(NetworkTest, CrashedNodeStaysInUniverseAndDropsAsNoReceiver) {
   EXPECT_EQ(received_by_2_.size(), 1u);
 }
 
+// A second message type so fault-rule matching can be shown to be
+// type-exact (Ping must not match a rule for Pong and vice versa).
+struct Pong : public Message {
+  explicit Pong(int seq_in = 0) : seq(seq_in) {}
+  std::string TypeName() const override { return "Pong"; }
+  int seq;
+};
+
+TEST_F(NetworkTest, FaultDropKillsOnlyTheNamedType) {
+  network_.AddFaultRule({.type_name = "Ping", .action = FaultRule::Action::kDrop});
+  network_.SendNew<Ping>(1, 2);
+  network_.SendNew<Pong>(1, 2);
+  simulator_.RunUntilIdle();
+  ASSERT_EQ(received_by_2_.size(), 1u);
+  EXPECT_EQ(received_by_2_[0].msg->TypeName(), "Pong");
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+  EXPECT_EQ(network_.messages_faulted(), 1u);
+  auto records = simulator_.Trace().Filter("net");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event, "drop");
+  EXPECT_NE(records[0].detail.find("(fault drop)"), std::string::npos);
+}
+
+TEST_F(NetworkTest, FaultDropHonorsTheMatchLimit) {
+  network_.AddFaultRule(
+      {.type_name = "Ping", .action = FaultRule::Action::kDrop, .limit = 2});
+  for (int i = 0; i < 5; ++i) {
+    network_.SendNew<Ping>(1, 2, i);
+  }
+  simulator_.RunUntilIdle();
+  EXPECT_EQ(received_by_2_.size(), 3u);
+  EXPECT_EQ(network_.messages_dropped(), 2u);
+  EXPECT_EQ(network_.messages_faulted(), 2u);
+}
+
+TEST_F(NetworkTest, FaultDropRestrictsToSrcAndDst) {
+  network_.AddFaultRule(
+      {.type_name = "Ping", .action = FaultRule::Action::kDrop, .src = 2, .dst = 1});
+  network_.SendNew<Ping>(1, 2);  // does not match: wrong direction
+  network_.SendNew<Ping>(2, 1);  // matches
+  simulator_.RunUntilIdle();
+  EXPECT_EQ(received_by_2_.size(), 1u);
+  EXPECT_TRUE(received_by_1_.empty());
+}
+
+TEST_F(NetworkTest, FaultDelayPostponesDelivery) {
+  network_.set_latency({sim::Milliseconds(1), 0});
+  network_.AddFaultRule({.type_name = "Ping",
+                         .action = FaultRule::Action::kDelay,
+                         .delay = sim::Milliseconds(50)});
+  network_.SendNew<Ping>(1, 2);
+  simulator_.RunUntilIdle();
+  ASSERT_EQ(received_by_2_.size(), 1u);
+  EXPECT_EQ(simulator_.Now(), sim::Milliseconds(51));
+  EXPECT_EQ(network_.messages_delivered(), 1u);
+  EXPECT_EQ(network_.messages_faulted(), 1u);
+}
+
+TEST_F(NetworkTest, FaultReorderSwapsConsecutiveMatches) {
+  network_.set_latency({sim::Milliseconds(1), 0});
+  network_.AddFaultRule({.type_name = "Ping", .action = FaultRule::Action::kReorder});
+  for (int seq = 1; seq <= 4; ++seq) {
+    simulator_.Schedule(sim::Milliseconds(10 * seq),
+                        [this, seq]() { network_.SendNew<Ping>(1, 2, seq); });
+  }
+  simulator_.RunUntilIdle();
+  ASSERT_EQ(received_by_2_.size(), 4u);
+  std::vector<int> order;
+  for (const Envelope& envelope : received_by_2_) {
+    order.push_back(dynamic_cast<const Ping*>(envelope.msg.get())->seq);
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 4, 3}));
+}
+
+TEST_F(NetworkTest, FaultReorderLeavesOtherTypesInOrder) {
+  network_.set_latency({sim::Milliseconds(1), 0});
+  network_.AddFaultRule({.type_name = "Ping", .action = FaultRule::Action::kReorder});
+  network_.SendNew<Ping>(1, 2, 1);
+  network_.SendNew<Pong>(1, 2, 2);
+  simulator_.RunUntilIdle();
+  // The Pong sails through; the held Ping stays held (no successor yet).
+  ASSERT_EQ(received_by_2_.size(), 1u);
+  EXPECT_EQ(received_by_2_[0].msg->TypeName(), "Pong");
+}
+
+TEST_F(NetworkTest, RemovingAReorderRuleFlushesTheHeldMessage) {
+  network_.set_latency({sim::Milliseconds(1), 0});
+  const FaultRuleId rule =
+      network_.AddFaultRule({.type_name = "Ping", .action = FaultRule::Action::kReorder});
+  network_.SendNew<Ping>(1, 2, 1);
+  simulator_.RunUntilIdle();
+  EXPECT_TRUE(received_by_2_.empty());  // held
+  network_.RemoveFaultRule(rule);
+  simulator_.RunUntilIdle();
+  ASSERT_EQ(received_by_2_.size(), 1u);  // flushed with its original delay
+  EXPECT_FALSE(network_.HasFaultRules());
+  network_.RemoveFaultRule(rule);  // unknown id: a safe no-op
+}
+
+TEST_F(NetworkTest, ClearFaultRulesFlushesEveryHeldMessage) {
+  network_.AddFaultRule({.type_name = "Ping", .action = FaultRule::Action::kReorder});
+  network_.AddFaultRule({.type_name = "Pong", .action = FaultRule::Action::kReorder});
+  network_.SendNew<Ping>(1, 2, 1);
+  network_.SendNew<Pong>(1, 2, 2);
+  simulator_.RunUntilIdle();
+  EXPECT_TRUE(received_by_2_.empty());
+  network_.ClearFaultRules();
+  simulator_.RunUntilIdle();
+  EXPECT_EQ(received_by_2_.size(), 2u);
+}
+
+TEST_F(NetworkTest, FirstMatchingFaultRuleWins) {
+  network_.AddFaultRule({.type_name = "Ping", .action = FaultRule::Action::kDrop, .limit = 1});
+  network_.AddFaultRule({.type_name = "Ping",
+                         .action = FaultRule::Action::kDelay,
+                         .delay = sim::Milliseconds(5)});
+  network_.set_latency({sim::Milliseconds(1), 0});
+  network_.SendNew<Ping>(1, 2, 1);  // dropped by the first rule
+  network_.SendNew<Ping>(1, 2, 2);  // first rule exhausted; delayed by the second
+  simulator_.RunUntilIdle();
+  ASSERT_EQ(received_by_2_.size(), 1u);
+  EXPECT_EQ(simulator_.Now(), sim::Milliseconds(6));
+}
+
+TEST_F(NetworkTest, FaultStateSurvivesSnapshotRestore) {
+  network_.AddFaultRule(
+      {.type_name = "Ping", .action = FaultRule::Action::kDrop, .limit = 2});
+  network_.SendNew<Ping>(1, 2, 1);
+  simulator_.RunUntilIdle();
+  const Network::State snapshot = network_.CaptureState();
+  network_.SendNew<Ping>(1, 2, 2);  // consumes the second (last) match
+  network_.SendNew<Ping>(1, 2, 3);  // delivered
+  simulator_.RunUntilIdle();
+  EXPECT_EQ(received_by_2_.size(), 1u);
+  // Rewind: the rule must again have one match left, so the replayed
+  // sends fault identically to the first run.
+  network_.RestoreState(snapshot);
+  received_by_2_.clear();
+  network_.SendNew<Ping>(1, 2, 2);
+  network_.SendNew<Ping>(1, 2, 3);
+  simulator_.RunUntilIdle();
+  EXPECT_EQ(received_by_2_.size(), 1u);
+  EXPECT_EQ(network_.messages_faulted(), 2u);
+}
+
+TEST_F(NetworkTest, HeldMessageSurvivesSnapshotRestore) {
+  network_.set_latency({sim::Milliseconds(1), 0});
+  network_.AddFaultRule({.type_name = "Ping", .action = FaultRule::Action::kReorder});
+  network_.SendNew<Ping>(1, 2, 1);
+  simulator_.RunUntilIdle();
+  const Network::State snapshot = network_.CaptureState();
+  network_.SendNew<Ping>(1, 2, 2);
+  simulator_.RunUntilIdle();
+  ASSERT_EQ(received_by_2_.size(), 2u);
+  network_.RestoreState(snapshot);
+  received_by_2_.clear();
+  network_.SendNew<Ping>(1, 2, 2);  // releases the snapshotted held message
+  simulator_.RunUntilIdle();
+  std::vector<int> order;
+  for (const Envelope& envelope : received_by_2_) {
+    order.push_back(dynamic_cast<const Ping*>(envelope.msg.get())->seq);
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST_F(NetworkTest, NoFaultRulesMeansNoFaultTraceRecords) {
+  network_.SendNew<Ping>(1, 2);
+  simulator_.RunUntilIdle();
+  for (const auto& record : simulator_.Trace().records()) {
+    EXPECT_NE(record.event, "fault");
+  }
+  EXPECT_EQ(network_.messages_faulted(), 0u);
+}
+
 TEST_F(NetworkTest, DropTraceNamesThePartitionedLink) {
   backend_.Block({1}, {2});
   network_.SendNew<Ping>(1, 2);

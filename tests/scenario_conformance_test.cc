@@ -1,0 +1,87 @@
+// Byte-identity of the shipped scenario corpus against the hand-written
+// legacy executors. Each of the four ported reproductions
+// (tests/scenarios/*.scn) must produce, through the scenario DSL, exactly
+// the campaign the legacy Run*TestCase machinery produces: same verdicts,
+// same traces, same coverage, same failure signatures — pinned by
+// comparing scenario::CampaignDigest of both sweeps. This is the
+// compilation contract of docs/DESIGN.md: the DSL adds a parser in front
+// of the existing execution stack, never a different execution.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "neat/adapters.h"
+#include "neat/campaign.h"
+#include "scenario/executor.h"
+#include "scenario/parser.h"
+
+namespace scenario {
+namespace {
+
+Scenario Load(const std::string& file) {
+  const ParseResult parsed = ParseFile(std::string(SCENARIO_DIR) + "/" + file);
+  EXPECT_TRUE(parsed.ok) << FormatDiagnostics(parsed, file);
+  return parsed.scenario;
+}
+
+// The legacy sweep for one (scenario, executor) pair: the same generator
+// alphabet, pruning, and campaign dimensions the .scn file declares, run
+// through the hand-written per-system CaseExecutor.
+std::string LegacyDigest(const Scenario& scn, const neat::CaseExecutor& executor) {
+  neat::CampaignOptions options;
+  options.threads = scn.campaign.threads;
+  options.seeds = scn.campaign.seeds;
+  const neat::CampaignResult result = neat::RunCampaign(
+      ScenarioGenerator(scn), scn.campaign.max_length, ScenarioPruning(scn), executor, options);
+  return CampaignDigest(result);
+}
+
+TEST(ScenarioConformance, PbkvPaperSuiteMatchesLegacyExecutor) {
+  const Scenario scn = Load("pbkv_paper_suite.scn");
+  const RunOutcome flawed = RunScenarioVariant(scn, Variant::kFlawed);
+  EXPECT_TRUE(flawed.passed);
+  EXPECT_EQ(flawed.digest, LegacyDigest(scn, neat::PbkvCaseExecutor(pbkv::VoltDbOptions())));
+  const RunOutcome correct = RunScenarioVariant(scn, Variant::kCorrect);
+  EXPECT_TRUE(correct.passed);
+  EXPECT_EQ(correct.digest, LegacyDigest(scn, neat::PbkvCaseExecutor(pbkv::CorrectOptions())));
+}
+
+TEST(ScenarioConformance, LocksvcDoubleLockingMatchesLegacyExecutor) {
+  const Scenario scn = Load("locksvc_double_locking.scn");
+  const RunOutcome flawed = RunScenarioVariant(scn, Variant::kFlawed);
+  EXPECT_TRUE(flawed.passed);
+  EXPECT_EQ(flawed.digest,
+            LegacyDigest(scn, neat::LocksvcCaseExecutor(locksvc::IgniteOptions())));
+  const RunOutcome correct = RunScenarioVariant(scn, Variant::kCorrect);
+  EXPECT_TRUE(correct.passed);
+  EXPECT_EQ(correct.digest,
+            LegacyDigest(scn, neat::LocksvcCaseExecutor(locksvc::CorrectOptions())));
+}
+
+TEST(ScenarioConformance, RaftKvMembershipMatchesLegacyExecutor) {
+  const Scenario scn = Load("raftkv_membership_5289.scn");
+  const RunOutcome flawed = RunScenarioVariant(scn, Variant::kFlawed);
+  EXPECT_TRUE(flawed.passed);
+  EXPECT_EQ(flawed.digest,
+            LegacyDigest(scn, neat::RaftKvCaseExecutor(raftkv::RethinkDbOptions())));
+  const RunOutcome correct = RunScenarioVariant(scn, Variant::kCorrect);
+  EXPECT_TRUE(correct.passed);
+  EXPECT_EQ(correct.digest,
+            LegacyDigest(scn, neat::RaftKvCaseExecutor(raftkv::CorrectOptions())));
+}
+
+TEST(ScenarioConformance, MqueueDoubleDequeueMatchesLegacyExecutor) {
+  const Scenario scn = Load("mqueue_double_dequeue.scn");
+  const RunOutcome flawed = RunScenarioVariant(scn, Variant::kFlawed);
+  EXPECT_TRUE(flawed.passed);
+  EXPECT_EQ(flawed.digest,
+            LegacyDigest(scn, neat::MqueueCaseExecutor(mqueue::ActiveMqOptions())));
+  const RunOutcome correct = RunScenarioVariant(scn, Variant::kCorrect);
+  EXPECT_TRUE(correct.passed);
+  EXPECT_EQ(correct.digest,
+            LegacyDigest(scn, neat::MqueueCaseExecutor(mqueue::CorrectOptions())));
+}
+
+}  // namespace
+}  // namespace scenario

@@ -1,0 +1,89 @@
+// Data-driven conformance corpus. Every ".scn" file in tests/scenarios/
+// registers as its own test: it must parse, and every expect block must
+// hold when run (flawed variants flag their violation, correct variants
+// run clean). Every ".scn" in tests/scenarios/bad/ registers as a
+// negative-parse test: it must fail to parse, with exactly the diagnostic
+// its golden ".diag" sibling records (line, column, message). Dropping a
+// new scenario file into either directory adds the test — no CMake or C++
+// edits.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/executor.h"
+#include "scenario/parser.h"
+
+namespace scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> ListScn(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scn") {
+      files.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// "mqueue_repl_blackhole.scn" -> "mqueue_repl_blackhole" (gtest parameter
+// names must be alphanumeric/underscore).
+std::string TestName(const testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+class ScenarioCorpus : public testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioCorpus, ParsesAndMeetsItsExpectations) {
+  const std::string path = std::string(SCENARIO_DIR) + "/" + GetParam();
+  const ParseResult parsed = ParseFile(path);
+  ASSERT_TRUE(parsed.ok) << FormatDiagnostics(parsed, GetParam());
+  for (const RunOutcome& outcome : RunScenario(parsed.scenario)) {
+    for (const ExpectationOutcome& judged : outcome.expectations) {
+      EXPECT_TRUE(judged.passed)
+          << GetParam() << ":" << judged.expectation.line << ":" << judged.expectation.column
+          << " [" << VariantName(outcome.variant) << "] " << judged.detail;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ScenarioCorpus, testing::ValuesIn(ListScn(SCENARIO_DIR)),
+                         TestName);
+
+class ScenarioBadCorpus : public testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioBadCorpus, FailsToParseWithItsGoldenDiagnostic) {
+  const fs::path path = fs::path(SCENARIO_DIR) / "bad" / GetParam();
+  const ParseResult parsed = ParseFile(path.string());
+  EXPECT_FALSE(parsed.ok) << GetParam() << " parsed cleanly; the bad corpus must not";
+
+  const fs::path golden_path = fs::path(path).replace_extension(".diag");
+  std::ifstream golden_file(golden_path);
+  ASSERT_TRUE(golden_file.good()) << "no golden diagnostics: " << golden_path
+                                  << " (every bad/*.scn needs a .diag sibling)";
+  std::ostringstream golden;
+  golden << golden_file.rdbuf();
+  EXPECT_EQ(FormatDiagnostics(parsed), golden.str()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ScenarioBadCorpus,
+                         testing::ValuesIn(ListScn(std::string(SCENARIO_DIR) + "/bad")),
+                         TestName);
+
+}  // namespace
+}  // namespace scenario

@@ -1,0 +1,127 @@
+// scnrun: parse and execute ".scn" scenario files (src/scenario/).
+//
+//   scnrun file.scn...                 run every expect block, report verdicts
+//   scnrun --parse-only file.scn...    syntax/semantic gate only (CI schema check)
+//   scnrun --variant flawed file.scn   run one variant regardless of expect blocks
+//
+// Exit code 0 iff every file parsed (and, unless --parse-only, every
+// expectation of every executed variant held).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenario/executor.h"
+#include "scenario/parser.h"
+
+namespace {
+
+const char* ExpectationName(const scenario::Expectation& expectation) {
+  switch (expectation.kind) {
+    case scenario::Expectation::Kind::kClean:
+      return "clean";
+    case scenario::Expectation::Kind::kViolation:
+      return "violation";
+    case scenario::Expectation::Kind::kLinearizable:
+      return "linearizable";
+    case scenario::Expectation::Kind::kNoLostOps:
+      return "no-lost-ops";
+    case scenario::Expectation::Kind::kNoCascade:
+      return "no-cascade";
+    case scenario::Expectation::Kind::kStatusConverges:
+      return "status-converges";
+  }
+  return "?";
+}
+
+bool ReportOutcome(const scenario::Scenario& scn, const scenario::RunOutcome& outcome) {
+  std::printf("%s [%s]: ", scn.name.c_str(), scenario::VariantName(outcome.variant));
+  if (scn.campaign.present) {
+    std::printf("%llu cases, %llu failures",
+                static_cast<unsigned long long>(outcome.cases_run),
+                static_cast<unsigned long long>(outcome.failures));
+  } else {
+    std::printf("%llu violations", static_cast<unsigned long long>(outcome.failures));
+  }
+  if (!outcome.signature.empty()) {
+    std::printf(" (%s)", outcome.signature.c_str());
+  }
+  std::printf(", digest %s\n", outcome.digest.c_str());
+  for (const scenario::ExpectationOutcome& judged : outcome.expectations) {
+    std::printf("  %s %d:%d %s", judged.passed ? "PASS" : "FAIL",
+                judged.expectation.line, judged.expectation.column,
+                ExpectationName(judged.expectation));
+    if (!judged.expectation.needle.empty()) {
+      std::printf(" \"%s\"", judged.expectation.needle.c_str());
+    }
+    if (!judged.detail.empty()) {
+      std::printf(" — %s", judged.detail.c_str());
+    }
+    std::printf("\n");
+  }
+  return outcome.passed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool parse_only = false;
+  bool variant_set = false;
+  scenario::Variant variant = scenario::Variant::kFlawed;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--parse-only") {
+      parse_only = true;
+    } else if (arg == "--variant") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "scnrun: --variant needs an argument (flawed|correct)\n");
+        return 2;
+      }
+      const std::string value = argv[++i];
+      if (value == "flawed") {
+        variant = scenario::Variant::kFlawed;
+      } else if (value == "correct") {
+        variant = scenario::Variant::kCorrect;
+      } else {
+        std::fprintf(stderr, "scnrun: unknown variant '%s'\n", value.c_str());
+        return 2;
+      }
+      variant_set = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: scnrun [--parse-only] [--variant flawed|correct] file.scn...\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: scnrun [--parse-only] [--variant flawed|correct] file.scn...\n");
+    return 2;
+  }
+
+  bool ok = true;
+  for (const std::string& file : files) {
+    const scenario::ParseResult parsed = scenario::ParseFile(file);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "%s", scenario::FormatDiagnostics(parsed, file).c_str());
+      ok = false;
+      continue;
+    }
+    if (parse_only) {
+      std::printf("%s: ok (%s)\n", file.c_str(), parsed.scenario.name.c_str());
+      continue;
+    }
+    if (variant_set) {
+      ok = ReportOutcome(parsed.scenario,
+                         scenario::RunScenarioVariant(parsed.scenario, variant)) &&
+           ok;
+      continue;
+    }
+    for (const scenario::RunOutcome& outcome : scenario::RunScenario(parsed.scenario)) {
+      ok = ReportOutcome(parsed.scenario, outcome) && ok;
+    }
+  }
+  return ok ? 0 : 1;
+}
