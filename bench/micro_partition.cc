@@ -39,6 +39,7 @@ volatile bool g_sink = false;
 
 double NowSeconds() {
   return std::chrono::duration<double>(
+             // detlint: allow(wall-clock): bench timing probe; the simulated workload itself uses virtual time
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }

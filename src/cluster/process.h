@@ -103,7 +103,9 @@ class Process {
 
   sim::Simulator* simulator_;
   net::Network* network_;
+  // detlint: allow(snapshot-field): node identity is fixed at construction; RestoreKernel asserts it, never rewrites it
   net::NodeId id_;
+  // detlint: allow(snapshot-field): debug label fixed at construction; not part of the replayed state
   std::string name_;
   uint64_t epoch_ = 0;
   bool crashed_ = true;  // not booted yet

@@ -252,6 +252,7 @@ class PartitionScript {
 
  private:
   TestEnv& env_;
+  // detlint: allow(snapshot-field): script topology is fixed at construction and never mutated mid-run
   net::Group servers_;
   bool partitioned_ = false;
   net::Partition partition_;
@@ -474,6 +475,7 @@ class PbkvRunner : public CaseRunner {
     return kMajorityClient;
   }
 
+  // detlint: allow(snapshot-field): variant flag chosen at construction; constant for the lifetime of the runner
   bool strong_;
   PbkvSystem system_;
   std::optional<StateObserver> observer_;
@@ -595,6 +597,7 @@ class LocksvcRunner : public CaseRunner {
   LocksvcSystem system_;
   std::optional<StateObserver> observer_;
   std::optional<PartitionScript> script_;
+  // detlint: allow(snapshot-field): chosen once during Setup and constant thereafter; forks never change the victim
   net::NodeId isolated_ = net::kInvalidNode;
   const std::string lock_ = "L";
 };
@@ -783,6 +786,7 @@ class RaftKvRunner : public CaseRunner {
   RaftKvSystem system_;
   std::optional<StateObserver> observer_;
   std::optional<PartitionScript> script_;
+  // detlint: allow(snapshot-field): fixed after Setup elects the initial leader; constant across forks
   net::NodeId initial_leader_ = net::kInvalidNode;  // fixed after setup
   // The nodes cut off by the current partition; minority-side client
   // events contact its first member.

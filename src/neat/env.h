@@ -103,6 +103,7 @@ class TestEnv {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<net::Partitioner> partitioner_;
   check::History history_;
+  // detlint: allow(snapshot-field): Restore reaches it via FindProcess; the registration set is identical at capture and restore by contract (see State doc above)
   std::map<net::NodeId, cluster::Process*> processes_;
 };
 

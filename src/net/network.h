@@ -194,9 +194,11 @@ class Network {
 
   sim::Simulator* simulator_;
   PartitionBackend* backend_;
+  // detlint: allow(snapshot-field): derived reachability cache; invalidated on every rule change and rebuilt on demand
   ConnectivityCache connectivity_;
   sim::Rng rng_;  // network-private substream: loss + jitter draws only
   LatencyModel latency_;
+  // detlint: allow(snapshot-field): delivery closures are re-registered by Process::RestoreKernel, not value-copied
   std::map<NodeId, Handler> handlers_;
   std::map<std::pair<NodeId, NodeId>, double> link_loss_;
   uint64_t messages_sent_ = 0;

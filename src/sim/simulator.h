@@ -165,18 +165,23 @@ class Simulator {
   Time now_ = kTimeZero;
   uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
+  // detlint: allow(snapshot-field): Restore rebuilds the heap from retained_; capturing the pending closures is impossible and unnecessary
   std::vector<Event> heap_;
   std::unordered_set<EventId> live_;
   // Tombstoned entries still sitting in heap_; drives compaction.
+  // detlint: allow(snapshot-field): bookkeeping for the heap it is rebuilt with; reset by Restore
   size_t heap_tombstones_ = 0;
   // Pristine copies for Restore, keyed by id (ordered so a dead branch can
   // be purged as one contiguous range).
+  // detlint: allow(snapshot-field): campaign-mode configuration, not per-run state; constant across a fork tree
   bool retain_events_ = false;
+  // detlint: allow(snapshot-field): transient guard around Restore itself; never set at a quiescent capture point
   bool retention_paused_ = false;
   struct RetainedEvent {
     Time when;
     std::function<void()> fn;
   };
+  // detlint: allow(snapshot-field): the durable event log the checkpoint indexes into; Restore replays it, a snapshot could not copy its closures
   std::map<EventId, RetainedEvent> retained_;
   Rng rng_;
   TraceLog trace_;

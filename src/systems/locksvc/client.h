@@ -79,11 +79,14 @@ class Client : public cluster::Process {
              int permits);
   void Complete(check::OpStatus status, int64_t counter_value);
 
+  // detlint: allow(snapshot-field): client identity fixed at construction
   int client_num_;
+  // detlint: allow(snapshot-field): server topology fixed at construction
   std::vector<net::NodeId> servers_;
   check::History* history_;
   net::NodeId contact_;
   sim::Duration op_timeout_ = sim::Milliseconds(800);
+  // detlint: allow(snapshot-field): protocol constant chosen at construction
   sim::Duration keepalive_interval_;
 
   bool outstanding_ = false;

@@ -87,7 +87,9 @@ class Server : public cluster::Process {
   void TrackHolding(int client, net::NodeId client_node, ResourceKind kind,
                     const std::string& resource, bool add);
 
+  // detlint: allow(snapshot-field): configuration fixed at construction
   Options options_;
+  // detlint: allow(snapshot-field): replica topology fixed at construction
   std::vector<net::NodeId> replicas_;
   std::set<net::NodeId> view_;
 

@@ -63,8 +63,11 @@ class Broker : public cluster::Process {
   // Applies an op to the local queues. For dequeue, removes `value`.
   void ApplyLocal(QueueOp op, const std::string& queue, const std::string& value);
 
+  // detlint: allow(snapshot-field): configuration fixed at construction
   Options options_;
+  // detlint: allow(snapshot-field): broker topology fixed at construction
   std::vector<net::NodeId> brokers_;
+  // detlint: allow(snapshot-field): registry address fixed at construction
   net::NodeId zk_;
   bool is_master_ = false;
   bool create_pending_ = false;

@@ -61,7 +61,9 @@ class Client : public cluster::Process {
              const std::string& value, bool final_drain);
   void Complete(check::OpStatus status, const std::string& value);
 
+  // detlint: allow(snapshot-field): client identity fixed at construction
   int client_num_;
+  // detlint: allow(snapshot-field): broker topology fixed at construction
   std::vector<net::NodeId> brokers_;
   check::History* history_;
   net::NodeId contact_;

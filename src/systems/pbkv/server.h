@@ -148,9 +148,13 @@ class Server : public cluster::Process {
   sim::Time LastTimestamp() const;
   int Priority() const;
 
+  // detlint: allow(snapshot-field): configuration fixed at construction
   Options options_;
+  // detlint: allow(snapshot-field): replica topology fixed at construction
   std::vector<net::NodeId> replicas_;
+  // detlint: allow(snapshot-field): arbiter address fixed at construction
   net::NodeId arbiter_;
+  // detlint: allow(snapshot-field): derived from replicas_ + arbiter_ at construction; never mutated
   std::vector<net::NodeId> members_;  // replicas + arbiter
 
   Role role_ = Role::kFollower;

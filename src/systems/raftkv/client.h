@@ -72,7 +72,9 @@ class Client : public cluster::Process {
   void Begin(check::OpType type, Command command, bool final_read);
   void Complete(check::OpStatus status, const std::string& value);
 
+  // detlint: allow(snapshot-field): client identity fixed at construction
   int client_num_;
+  // detlint: allow(snapshot-field): server topology fixed at construction
   std::vector<net::NodeId> servers_;
   check::History* history_;
   net::NodeId contact_;

@@ -74,7 +74,9 @@ class Server : public cluster::Process {
   bool IsMember(net::NodeId node) const;
   void FailPending(const std::string& reason);
 
+  // detlint: allow(snapshot-field): configuration fixed at construction
   Options options_;
+  // detlint: allow(snapshot-field): bootstrap membership fixed at construction; live membership is in the replicated config
   std::vector<net::NodeId> initial_members_;
   std::vector<net::NodeId> members_;  // current configuration
 

@@ -54,6 +54,7 @@ class Registry : public cluster::Process {
   void ExpireSession(net::NodeId session);
   void FireWatches(const std::string& path, bool deleted);
 
+  // detlint: allow(snapshot-field): configuration fixed at construction
   Options options_;
   std::map<std::string, Entry> entries_;
   std::map<net::NodeId, sim::Time> sessions_;

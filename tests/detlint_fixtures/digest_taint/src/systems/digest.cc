@@ -1,0 +1,33 @@
+// Fixture: digest-taint (sink side). ClusterDigest hashes the unsorted
+// member list — the cross-file leak the rule exists for; StableClusterDigest
+// hashes the laundered one and stays clean.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "registry.h"
+
+namespace systems {
+namespace {
+
+uint64_t Fnv1a(const std::vector<std::string>& parts) {
+  uint64_t digest = 1469598103934665603ull;
+  for (const std::string& part : parts) {
+    for (char c : part) {
+      digest = (digest ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    }
+  }
+  return digest;
+}
+
+}  // namespace
+
+uint64_t ClusterDigest(const Registry& registry) {
+  return Fnv1a(registry.MemberList());
+}
+
+uint64_t StableClusterDigest(const Registry& registry) {
+  return Fnv1a(registry.SortedMemberList());
+}
+
+}  // namespace systems

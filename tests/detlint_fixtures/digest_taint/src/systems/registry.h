@@ -1,0 +1,42 @@
+// Fixture: digest-taint (helper side). MemberList mints its result from
+// hash-order iteration and returns it unsorted — harmless on its own, which
+// is exactly why the token-level unordered-iteration rule stays quiet here;
+// the taint only becomes a bug at a digest sink in some caller.
+// SortedMemberList launders the same mint through a sort.
+#ifndef TESTS_DETLINT_FIXTURES_DIGEST_TAINT_SRC_SYSTEMS_REGISTRY_H_
+#define TESTS_DETLINT_FIXTURES_DIGEST_TAINT_SRC_SYSTEMS_REGISTRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace systems {
+
+class Registry {
+ public:
+  std::vector<std::string> MemberList() const {
+    std::vector<std::string> members;
+    for (const auto& entry : table_) {
+      members.push_back(entry.first);
+    }
+    return members;
+  }
+
+  std::vector<std::string> SortedMemberList() const {
+    std::vector<std::string> members;
+    for (const auto& entry : table_) {
+      members.push_back(entry.first);
+    }
+    std::sort(members.begin(), members.end());
+    return members;
+  }
+
+ private:
+  std::unordered_map<std::string, uint64_t> table_;
+};
+
+}  // namespace systems
+
+#endif  // TESTS_DETLINT_FIXTURES_DIGEST_TAINT_SRC_SYSTEMS_REGISTRY_H_

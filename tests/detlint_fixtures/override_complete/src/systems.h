@@ -1,0 +1,38 @@
+// Fixture: override-completeness. HalfSystem captures but cannot restore
+// or digest; GoodSystem carries the full set; ProbeSystem opts out of fork
+// support entirely (a digest alone is fine).
+#ifndef TESTS_DETLINT_FIXTURES_OVERRIDE_COMPLETE_SRC_SYSTEMS_H_
+#define TESTS_DETLINT_FIXTURES_OVERRIDE_COMPLETE_SRC_SYSTEMS_H_
+
+#include <cstdint>
+
+namespace neat {
+
+class ISystem {
+ public:
+  virtual ~ISystem() = default;
+  virtual void Snapshot() const {}
+  virtual void Restore() {}
+  virtual uint64_t StateDigest() const { return 0; }
+};
+
+class GoodSystem : public ISystem {
+ public:
+  void Snapshot() const override {}
+  void Restore() override {}
+  uint64_t StateDigest() const override { return 1; }
+};
+
+class HalfSystem : public ISystem {
+ public:
+  void Snapshot() const override {}
+};
+
+class ProbeSystem : public ISystem {
+ public:
+  uint64_t StateDigest() const override { return 7; }
+};
+
+}  // namespace neat
+
+#endif  // TESTS_DETLINT_FIXTURES_OVERRIDE_COMPLETE_SRC_SYSTEMS_H_

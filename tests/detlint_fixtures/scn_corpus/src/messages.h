@@ -1,0 +1,25 @@
+// Fixture: scnlint. Ping's TypeName() literal is what the corpus checks
+// fault rules against; IsPing is the dispatch site that keeps the
+// unhandled-message rule quiet.
+#ifndef TESTS_DETLINT_FIXTURES_SCN_CORPUS_SRC_MESSAGES_H_
+#define TESTS_DETLINT_FIXTURES_SCN_CORPUS_SRC_MESSAGES_H_
+
+#include <string>
+
+namespace fix {
+
+struct Message {
+  virtual ~Message() = default;
+};
+
+struct Ping : public Message {
+  std::string TypeName() const { return "fix.Ping"; }
+};
+
+inline bool IsPing(const Message& m) {
+  return dynamic_cast<const Ping*>(&m) != nullptr;
+}
+
+}  // namespace fix
+
+#endif  // TESTS_DETLINT_FIXTURES_SCN_CORPUS_SRC_MESSAGES_H_

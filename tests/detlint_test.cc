@@ -48,12 +48,24 @@ std::string FixtureRoot(const std::string& name) {
   return std::string(DETLINT_FIXTURE_DIR) + "/" + name;
 }
 
+// Loads a fixture's scenario corpus (its scenarios/ subtree, when present).
+std::vector<ScnSource> LoadScnTree(const std::string& root) {
+  std::vector<ScnSource> scenarios;
+  for (const std::string& rel : CollectScnFiles(root, {"scenarios"})) {
+    ScnSource scn;
+    EXPECT_TRUE(LoadScnSource(root, rel, &scn)) << rel;
+    scenarios.push_back(std::move(scn));
+  }
+  return scenarios;
+}
+
 AnalysisResult AnalyzeFixture(const std::string& name, bool with_baseline = false) {
   std::multimap<std::string, int> baseline;
   if (with_baseline) {
     baseline = ParseBaseline(ReadFile(FixtureRoot(name) + "/baseline.txt"));
   }
-  return Analyze(LoadTree(FixtureRoot(name)), baseline);
+  return Analyze(LoadTree(FixtureRoot(name)), LoadScnTree(FixtureRoot(name)),
+                 baseline);
 }
 
 int RunDetlint(const std::string& args) {
@@ -83,6 +95,54 @@ TEST(Tokenize, TracksLinesAndColumns) {
   EXPECT_EQ(tokens[0].column, 1);
   EXPECT_EQ(tokens[3].line, 2);
   EXPECT_EQ(tokens[3].column, 3);
+}
+
+TEST(Tokenize, LineContinuationInsideLineCommentExtendsIt) {
+  // The backslash-newline splice keeps a // comment alive on the next
+  // physical line — rand() there is commentary, not code.
+  const std::vector<Token> tokens = Tokenize(
+      "// a comment that continues \\\n"
+      "rand();\n"
+      "int after;\n");
+  for (const Token& token : tokens) {
+    EXPECT_NE(token.text, "rand");
+  }
+  // ...and line accounting survives the splice.
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[0].line, 3);
+}
+
+TEST(Tokenize, LineContinuationInsideStringLiteral) {
+  // A spliced string literal is one token whose contents skip the splice;
+  // the next token's line number accounts for the consumed newline.
+  const std::vector<Token> tokens = Tokenize(
+      "const char* s = \"split \\\n"
+      "string\";\n"
+      "int after;\n");
+  bool found = false;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind == TokKind::kString) {
+      EXPECT_EQ(tokens[i].text, "split string");
+      found = true;
+    }
+    if (tokens[i].text == "after") {
+      EXPECT_EQ(tokens[i].line, 3);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tokenize, StringTokensRetainContents) {
+  const std::vector<Token> tokens = Tokenize("auto n = obj.TypeName(\"pb.Put\");\n");
+  bool found = false;
+  for (const Token& token : tokens) {
+    if (token.kind == TokKind::kString) {
+      EXPECT_EQ(token.text, "pb.Put");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(Suppressions, ParsedWithMandatoryReason) {
@@ -125,7 +185,11 @@ INSTANTIATE_TEST_SUITE_P(
                       GoldenCase{"snapshot_nonconst", false},
                       GoldenCase{"messages", false}, GoldenCase{"suppressed", false},
                       GoldenCase{"address_id", false},
-                      GoldenCase{"baseline_case", true}),
+                      GoldenCase{"baseline_case", true},
+                      GoldenCase{"snapshot_field", false},
+                      GoldenCase{"override_complete", false},
+                      GoldenCase{"digest_taint", false},
+                      GoldenCase{"scn_corpus", false}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
       return std::string(info.param.name);
     });
@@ -227,6 +291,60 @@ TEST(Rules, SuppressionsSilenceButMalformedOnesDoNot) {
   EXPECT_EQ(result.findings[1].rule, "raw-rand");
 }
 
+TEST(Rules, SnapshotFieldCoverageFlagsSeededOmission) {
+  // The acceptance case: cache_ is folded into the Snapshot but never
+  // restored. dropped_ is in neither body; const/pointer members are
+  // exempt; memo_ is excused with the allow(snapshot-field) shorthand.
+  const AnalysisResult result = AnalyzeFixture("snapshot_field");
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_EQ(result.findings[0].rule, "snapshot-field-coverage");
+  EXPECT_EQ(result.findings[0].subject, "Tracker::cache_");
+  EXPECT_NE(result.findings[0].message.find("Restore()"), std::string::npos);
+  EXPECT_EQ(result.findings[1].subject, "Tracker::dropped_");
+  EXPECT_EQ(result.suppressed, 1);  // memo_, via the snapshot-field alias
+}
+
+TEST(Rules, OverrideCompletenessRequiresTheFullSet) {
+  const AnalysisResult result = AnalyzeFixture("override_complete");
+  ASSERT_EQ(result.findings.size(), 2u);
+  for (const Finding& finding : result.findings) {
+    EXPECT_EQ(finding.rule, "override-completeness");
+  }
+  EXPECT_EQ(result.findings[0].subject, "HalfSystem/Restore");
+  EXPECT_EQ(result.findings[1].subject, "HalfSystem/StateDigest");
+  // GoodSystem (full set) and ProbeSystem (digest-only, opted out of fork
+  // support) both stay clean.
+}
+
+TEST(Rules, DigestTaintCrossesFilesAndSortLaunders) {
+  const AnalysisResult result = AnalyzeFixture("digest_taint");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "digest-taint");
+  EXPECT_EQ(result.findings[0].file, "src/systems/digest.cc");
+  EXPECT_EQ(result.findings[0].subject, "ClusterDigest/MemberList");
+  // StableClusterDigest consumes the sorted list and stays clean.
+}
+
+TEST(Rules, ScnlintValidatesCorpusAgainstIndexedTypeNames) {
+  const AnalysisResult result = AnalyzeFixture("scn_corpus");
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_EQ(result.findings[0].rule, "scn-missing-expect");
+  EXPECT_EQ(result.findings[0].file, "scenarios/half.scn");
+  EXPECT_EQ(result.findings[1].rule, "scn-unknown-message");
+  EXPECT_EQ(result.findings[1].subject, "fixture-phantom/fix.Pong");
+  // good.scn names the real TypeName and asserts both variants: clean.
+}
+
+TEST(Rules, ScnParseFailureIsAFinding) {
+  std::vector<ScnSource> scenarios;
+  scenarios.push_back(ScnSource{"scenarios/broken.scn", "scenario \"x\"\n"});
+  const AnalysisResult result =
+      Analyze({}, scenarios, std::multimap<std::string, int>());
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "scn-parse");
+  EXPECT_EQ(result.findings[0].file, "scenarios/broken.scn");
+}
+
 // --- baseline ---------------------------------------------------------------
 
 TEST(Baseline, GrandfatheredFindingsDoNotGate) {
@@ -254,6 +372,21 @@ TEST(Cli, GateFailsOnSeededViolation) {
   EXPECT_EQ(RunDetlint("--quiet --root " + FixtureRoot("wall_clock") + " src"), 1);
 }
 
+TEST(Cli, GateFailsOnSeededStructuralViolation) {
+  // CI's structural negative check: the snapshot_field fixture's seeded
+  // capture/restore omission must fail the gate.
+  EXPECT_EQ(RunDetlint("--quiet --root " + FixtureRoot("snapshot_field") + " src"), 1);
+}
+
+TEST(Cli, ScnFlagRunsTheCorpusRules) {
+  EXPECT_EQ(RunDetlint("--quiet --root " + FixtureRoot("scn_corpus") +
+                       " --scn scenarios src"),
+            1);
+  EXPECT_EQ(RunDetlint("--quiet --root " + FixtureRoot("scn_corpus") +
+                       " --scn scenarios/good.scn src"),
+            0);
+}
+
 TEST(Cli, GatePassesWithBaseline) {
   EXPECT_EQ(RunDetlint("--quiet --root " + FixtureRoot("baseline_case") +
                        " --baseline " + FixtureRoot("baseline_case") + "/baseline.txt src"),
@@ -273,11 +406,29 @@ TEST(Cli, FixBaselineMakesTreePass) {
 
 // --- meta-test: the repository's own src/ is detlint-clean ------------------
 
-TEST(RepoClean, SrcHasNoNewFindingsUnderCommittedBaseline) {
+TEST(RepoClean, SrcBenchAndCorpusHaveNoNewFindingsUnderCommittedBaseline) {
   const std::string root = DETLINT_SOURCE_ROOT;
   const std::multimap<std::string, int> baseline =
       ParseBaseline(ReadFile(root + "/tools/detlint/baseline.txt"));
-  const AnalysisResult result = Analyze(LoadTree(root), baseline);
+  std::vector<SourceFile> sources;
+  for (const std::string& rel : CollectFiles(root, {"src", "bench"})) {
+    SourceFile source;
+    ASSERT_TRUE(LoadSourceFile(root, rel, &source)) << rel;
+    sources.push_back(std::move(source));
+  }
+  // The real corpus only — tests/scenarios/bad/ holds deliberate parser
+  // rejects (the parser test suite's negative fixtures).
+  std::vector<ScnSource> scenarios;
+  for (const std::string& rel : CollectScnFiles(root, {"tests/scenarios"})) {
+    if (rel.find("/bad/") != std::string::npos) {
+      continue;
+    }
+    ScnSource scn;
+    ASSERT_TRUE(LoadScnSource(root, rel, &scn)) << rel;
+    scenarios.push_back(std::move(scn));
+  }
+  EXPECT_GT(scenarios.size(), 3u);
+  const AnalysisResult result = Analyze(sources, scenarios, baseline);
   std::string report;
   for (const Finding& finding : result.findings) {
     if (!finding.baselined) {

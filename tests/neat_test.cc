@@ -1106,6 +1106,80 @@ TEST(Fork, EverySystemForksByteIdenticallyOnAPrefixFamily) {
   }
 }
 
+TEST(Fork, SnapshotRestoreRoundTripPreservesStateDigest) {
+  // The runtime face of detlint's snapshot-field-coverage rule: for every
+  // registered runner, capture the post-setup state, mutate the run with a
+  // campaign case (events plus the full heal/verify teardown in Finish),
+  // restore, and the rewound instance must (a) report the captured
+  // StateDigest again and (b) replay the same case byte-identically to a
+  // fresh cluster. A field left out of a capture/restore pair fails one of
+  // the two.
+  TestEvent partition;
+  partition.kind = EventKind::kPartition;
+  partition.partition = PartitionKind::kComplete;
+  partition.target = IsolationTarget::kLeader;
+  TestEvent minority_write;
+  minority_write.kind = EventKind::kWrite;
+  minority_write.side = Side::kMinority;
+  TestEvent minority_read;
+  minority_read.kind = EventKind::kRead;
+  minority_read.side = Side::kMinority;
+  TestEvent minority_lock;
+  minority_lock.kind = EventKind::kLock;
+  minority_lock.side = Side::kMinority;
+  TestEvent majority_lock;
+  majority_lock.kind = EventKind::kLock;
+  majority_lock.side = Side::kMajority;
+
+  struct Target {
+    const char* name;
+    RunnerFactory factory;
+    CaseExecutor replay;
+    TestCase mutate;
+  };
+  std::vector<Target> targets;
+  targets.push_back({"pbkv", PbkvRunnerFactory(pbkv::VoltDbOptions()),
+                     PbkvCaseExecutor(pbkv::VoltDbOptions()),
+                     {partition, minority_write, minority_read}});
+  targets.push_back({"locksvc", LocksvcRunnerFactory(locksvc::IgniteOptions()),
+                     LocksvcCaseExecutor(locksvc::IgniteOptions()),
+                     {partition, minority_lock, majority_lock}});
+  targets.push_back({"raftkv", RaftKvRunnerFactory(raftkv::RethinkDbOptions()),
+                     RaftKvCaseExecutor(raftkv::RethinkDbOptions()),
+                     {partition, minority_write, minority_read}});
+  targets.push_back({"mqueue", MqueueRunnerFactory(mqueue::ActiveMqOptions()),
+                     MqueueCaseExecutor(mqueue::ActiveMqOptions()),
+                     {partition, minority_read, minority_write}});
+
+  for (Target& target : targets) {
+    SCOPED_TRACE(target.name);
+    std::unique_ptr<CaseRunner> runner = target.factory(1);
+    ASSERT_NE(runner->System(), nullptr);
+    // Same sequence as the fork executor: retention on before the root
+    // snapshot, paused for the teardown, resumed by the next Restore.
+    runner->Env().simulator().SetEventRetention(true);
+    const std::unique_ptr<SystemState> root = runner->Snapshot();
+    ASSERT_NE(root, nullptr);
+    const uint64_t captured_digest = runner->System()->StateDigest();
+
+    for (const TestEvent& event : target.mutate) {
+      runner->ApplyEvent(event);
+    }
+    runner->Env().simulator().PauseEventRetention();
+    (void)runner->Finish(target.mutate);
+
+    runner->Restore(*root);
+    EXPECT_EQ(runner->System()->StateDigest(), captured_digest);
+
+    for (const TestEvent& event : target.mutate) {
+      runner->ApplyEvent(event);
+    }
+    runner->Env().simulator().PauseEventRetention();
+    const ExecutionResult rewound = runner->Finish(target.mutate);
+    ExpectSameExecution(rewound, target.replay(target.mutate, 1));
+  }
+}
+
 TEST(Fork, SiblingRestoreInvalidatesDescendantSnapshots) {
   // The regression behind the ancestor-chain rule: snapshots index
   // positions in the branch's simulator history (trace sizes, event

@@ -1,0 +1,103 @@
+// CLI tests for scnrun (tools/scnrun): exit codes for the parse gate,
+// --list inventory mode, and scenario-name attribution on failed
+// expectation lines (what a grep over a multi-file run's log keys on).
+//
+// Compile-time configuration (from tests/CMakeLists.txt):
+//   SCNRUN_BIN    path to the built scnrun executable
+//   SCENARIO_DIR  tests/scenarios
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult RunScnrun(const std::string& args) {
+  const std::string command = std::string(SCNRUN_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  CliResult result;
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed: " << command;
+    return result;
+  }
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(status)) << command;
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string ScenarioPath(const std::string& rel) {
+  return std::string(SCENARIO_DIR) + "/" + rel;
+}
+
+TEST(ScnrunCli, ParseOnlyPassesTheCorpusAndFailsTheBadCorpus) {
+  const CliResult good =
+      RunScnrun("--parse-only " + ScenarioPath("mqueue_repl_blackhole.scn"));
+  EXPECT_EQ(good.exit_code, 0) << good.output;
+  EXPECT_NE(good.output.find("mqueue-repl-blackhole"), std::string::npos);
+
+  const CliResult bad =
+      RunScnrun("--parse-only " + ScenarioPath("bad/bad_duration.scn"));
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+}
+
+TEST(ScnrunCli, ListPrintsInventoryWithoutExecuting) {
+  const CliResult result =
+      RunScnrun("--list " + ScenarioPath("mqueue_repl_blackhole.scn"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("mqueue-repl-blackhole"), std::string::npos);
+  EXPECT_NE(result.output.find("mqueue"), std::string::npos);
+  EXPECT_NE(result.output.find("activemq"), std::string::npos);
+  EXPECT_NE(result.output.find("flawed,correct"), std::string::npos);
+  // Listing must not run the simulation: no verdict lines.
+  EXPECT_EQ(result.output.find("PASS"), std::string::npos);
+  EXPECT_EQ(result.output.find("digest"), std::string::npos);
+}
+
+TEST(ScnrunCli, ListStillFailsOnUnparsableInput) {
+  const CliResult result =
+      RunScnrun("--list " + ScenarioPath("bad/bad_duration.scn"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+}
+
+TEST(ScnrunCli, FailedExpectationLinesCarryTheScenarioName) {
+  // A fault-free run that expects a violation: the expectation fails and
+  // the FAIL line must name the scenario, not just the line number.
+  const std::string path = ::testing::TempDir() + "/scnrun_cli_fail.scn";
+  {
+    std::ofstream out(path);
+    out << "scenario \"attribution-check\" {\n"
+           "  system pbkv\n"
+           "  preset voltdb\n"
+           "  run {\n"
+           "    sleep 10ms\n"
+           "  }\n"
+           "  expect flawed {\n"
+           "    violation \"phantom\"\n"
+           "  }\n"
+           "  expect correct {\n"
+           "    clean\n"
+           "  }\n"
+           "}\n";
+  }
+  const CliResult result = RunScnrun(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("FAIL [attribution-check]"), std::string::npos)
+      << result.output;
+}
+
+}  // namespace

@@ -45,6 +45,36 @@
 //                       unhandled-protocol-event omission
 //   bad-suppression     a `detlint: allow(...)` comment without a reason
 //
+// Structural rules (index.h builds a repo-wide class/member model first):
+//   snapshot-field-coverage  a mutable data member of a class with a
+//                       Snapshot/Restore (or CaptureState/RestoreState,
+//                       CaptureKernel/RestoreKernel) pair that is not
+//                       referenced in BOTH functions — the one-field-left-
+//                       out-of-the-state-transfer omission that breaks
+//                       fork==replay byte-identity. const, reference, raw-
+//                       pointer, and static members are exempt (wiring or
+//                       immutable, not per-run state)
+//   override-completeness    an ISystem subclass overriding Snapshot must
+//                       also override Restore and StateDigest (and vice
+//                       versa); a CaseRunner subclass must pair
+//                       Snapshot/Restore — a capture with no restore path
+//                       is dead weight, a restore with no capture is a trap
+//   digest-taint        a function whose return value is minted from
+//                       unordered_{map,set} iteration (and not laundered
+//                       through a sort) feeding a digest/coverage sink in
+//                       any caller, across files — the interprocedural form
+//                       of unordered-iteration
+//
+// Scenario-corpus rules (scnlint.cc; run over .scn files via --scn):
+//   scn-parse           a corpus file the scenario parser rejects
+//   scn-unknown-system  `system:` not in the executor registry
+//   scn-unknown-preset  `preset:` not in the system's preset table
+//   scn-unknown-message an `inject`/ambient fault type name that matches no
+//                       Message::TypeName() literal in the indexed sources —
+//                       a fault rule that can never fire
+//   scn-missing-expect  a scenario without both `expect flawed` and
+//                       `expect correct` blocks — an unasserted variant
+//
 // Suppression syntax (same line as the finding or the line above):
 //   // detlint: allow(<rule>): <reason text, mandatory>
 
@@ -62,7 +92,7 @@ namespace detlint {
 enum class TokKind {
   kIdentifier,
   kNumber,
-  kString,  // string or char literal (contents not retained verbatim)
+  kString,  // string or char literal; text holds the (unquoted) contents
   kPunct,   // one punctuation character per token
 };
 
@@ -122,10 +152,23 @@ struct AnalysisResult {
   int NewCount() const;
 };
 
+// A scenario-corpus file (.scn). Checked by the scnlint rule family
+// against the scenario parser and the structural index of `sources`.
+struct ScnSource {
+  std::string path;  // root-relative, forward slashes
+  std::string contents;
+};
+
 // Runs every rule over the given sources. Baseline entries (one
 // "rule<TAB>file<TAB>subject" per line) mark matching findings baselined
 // instead of new.
 AnalysisResult Analyze(const std::vector<SourceFile>& sources,
+                       const std::multimap<std::string, int>& baseline);
+// As above, plus the scenario-corpus rules over `scenarios`. Scenario
+// findings flow through the same baseline/report/exit-code machinery;
+// scenario files count toward files_scanned.
+AnalysisResult Analyze(const std::vector<SourceFile>& sources,
+                       const std::vector<ScnSource>& scenarios,
                        const std::multimap<std::string, int>& baseline);
 
 // --- baseline files ---
@@ -153,6 +196,13 @@ std::vector<std::string> CollectFiles(const std::string& root,
 // Loads and tokenizes one file from disk. Returns false on read failure.
 bool LoadSourceFile(const std::string& root, const std::string& rel_path,
                     SourceFile* out);
+// Recursively collects .scn files under each path (or the file itself),
+// sorted, with paths reported relative to `root`.
+std::vector<std::string> CollectScnFiles(const std::string& root,
+                                         const std::vector<std::string>& paths);
+// Loads one scenario file from disk. Returns false on read failure.
+bool LoadScnSource(const std::string& root, const std::string& rel_path,
+                   ScnSource* out);
 
 }  // namespace detlint
 

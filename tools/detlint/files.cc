@@ -77,4 +77,47 @@ bool LoadSourceFile(const std::string& root, const std::string& rel_path, Source
   return true;
 }
 
+std::vector<std::string> CollectScnFiles(const std::string& root,
+                                         const std::vector<std::string>& paths) {
+  const fs::path root_path(root);
+  std::vector<std::string> files;
+  for (const std::string& raw : paths) {
+    fs::path path(raw);
+    if (path.is_relative()) {
+      path = root_path / path;
+    }
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end; !ec && it != end;
+           it.increment(ec)) {
+        if (it->is_regular_file() && it->path().extension() == ".scn") {
+          files.push_back(RelativeTo(root_path, it->path()));
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(RelativeTo(root_path, path));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+bool LoadScnSource(const std::string& root, const std::string& rel_path,
+                   ScnSource* out) {
+  fs::path path(rel_path);
+  if (path.is_relative()) {
+    path = fs::path(root) / path;
+  }
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    return false;
+  }
+  std::ostringstream contents;
+  contents << stream.rdbuf();
+  out->path = rel_path;
+  out->contents = contents.str();
+  return true;
+}
+
 }  // namespace detlint

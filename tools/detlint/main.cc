@@ -1,10 +1,13 @@
 // detlint CLI.
 //
 //   detlint [--root DIR] [--baseline FILE] [--json FILE] [--fix-baseline]
-//           [--quiet] [PATH...]
+//           [--quiet] [--scn PATH]... [PATH...]
 //
 // PATHs (files or directories, default: src) are resolved against --root
-// (default: the current directory) and reported root-relative. Exit codes:
+// (default: the current directory) and reported root-relative. --scn adds
+// scenario-corpus (.scn) files or directories to the scan; they are checked
+// by the scn-* rule family against the scenario parser and the structural
+// index of the C++ scan set. Exit codes:
 //   0  no new findings (baselined/suppressed findings are tolerated)
 //   1  at least one new finding
 //   2  usage or I/O error
@@ -22,7 +25,7 @@ namespace {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--root DIR] [--baseline FILE] [--json FILE] [--fix-baseline]"
-               " [--quiet] [PATH...]\n";
+               " [--quiet] [--scn PATH]... [PATH...]\n";
   return 2;
 }
 
@@ -35,6 +38,7 @@ int main(int argc, char** argv) {
   bool fix_baseline = false;
   bool quiet = false;
   std::vector<std::string> paths;
+  std::vector<std::string> scn_paths;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -44,6 +48,8 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--scn" && i + 1 < argc) {
+      scn_paths.push_back(argv[++i]);
     } else if (arg == "--fix-baseline") {
       fix_baseline = true;
     } else if (arg == "--quiet") {
@@ -75,7 +81,8 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<std::string> files = detlint::CollectFiles(root, paths);
-  if (files.empty()) {
+  const std::vector<std::string> scn_files = detlint::CollectScnFiles(root, scn_paths);
+  if (files.empty() && scn_files.empty()) {
     std::cerr << "detlint: no source files under the given paths\n";
     return 2;
   }
@@ -89,8 +96,18 @@ int main(int argc, char** argv) {
     }
     sources.push_back(std::move(source));
   }
+  std::vector<detlint::ScnSource> scenarios;
+  scenarios.reserve(scn_files.size());
+  for (const std::string& file : scn_files) {
+    detlint::ScnSource scn;
+    if (!detlint::LoadScnSource(root, file, &scn)) {
+      std::cerr << "detlint: cannot read " << file << "\n";
+      return 2;
+    }
+    scenarios.push_back(std::move(scn));
+  }
 
-  const detlint::AnalysisResult result = detlint::Analyze(sources, baseline);
+  const detlint::AnalysisResult result = detlint::Analyze(sources, scenarios, baseline);
 
   if (fix_baseline) {
     if (baseline_path.empty()) {

@@ -12,6 +12,8 @@
 #include <set>
 #include <sstream>
 
+#include "index.h"
+
 namespace detlint {
 namespace {
 
@@ -207,7 +209,10 @@ void CheckBannedIdentifiers(const SourceFile& file, std::vector<Finding>* out) {
       "gettimeofday", "clock_gettime", "localtime", "gmtime", "mktime", "timespec_get"};
   static const std::set<std::string> kEnv = {"getenv", "secure_getenv", "setenv",
                                              "putenv", "unsetenv"};
-  const bool env_exempt = PathEndsWith(file.path, "neat/campaign.cc");
+  // campaign.cc owns the NEAT_* knob surface; bench/ drivers run on the
+  // host and may read the same knobs (bench scope is wall-clock/raw-rand).
+  const bool env_exempt = PathEndsWith(file.path, "neat/campaign.cc") ||
+                          PathContains(file.path, "bench");
   const std::vector<Token>& tokens = file.tokens;
   for (size_t i = 0; i < tokens.size(); ++i) {
     const Token& token = tokens[i];
@@ -634,6 +639,10 @@ void CheckUnhandledMessages(const std::vector<SourceFile>& sources,
   std::vector<MessageDef> messages;
   std::set<std::string> handled;
   for (const SourceFile& file : sources) {
+    // bench/ carries only the determinism rules; a bench-local probe
+    // message is not protocol surface. Its dispatch sites still count as
+    // handling for message types defined elsewhere.
+    const bool collect_defs = !PathContains(file.path, "bench");
     const std::vector<Token>& tokens = file.tokens;
     for (size_t i = 0; i + 2 < tokens.size(); ++i) {
       // `struct Name : ... Message ... {`
@@ -650,7 +659,8 @@ void CheckUnhandledMessages(const std::vector<SourceFile>& sources,
             message_base = true;
           }
         }
-        if (message_base && j < tokens.size() && tokens[j].text == "{") {
+        if (collect_defs && message_base && j < tokens.size() &&
+            tokens[j].text == "{") {
           messages.push_back(MessageDef{&file, tokens[i + 1], tokens[i + 1].text});
         }
       }
@@ -713,10 +723,25 @@ int AnalysisResult::NewCount() const {
 
 AnalysisResult Analyze(const std::vector<SourceFile>& sources,
                        const std::multimap<std::string, int>& baseline) {
+  return Analyze(sources, std::vector<ScnSource>(), baseline);
+}
+
+AnalysisResult Analyze(const std::vector<SourceFile>& sources,
+                       const std::vector<ScnSource>& scenarios,
+                       const std::multimap<std::string, int>& baseline) {
   AnalysisResult result;
-  result.files_scanned = static_cast<int>(sources.size());
+  result.files_scanned = static_cast<int>(sources.size() + scenarios.size());
   std::vector<Finding> raw;
   for (const SourceFile& file : sources) {
+    // Files under bench/ carry only the sim-scope determinism rules
+    // (wall-clock, raw-rand): benches run on the host and may thread or
+    // iterate freely, but their BENCH_*.json trajectories are part of the
+    // perf record and must replay from the seed like everything else.
+    if (PathContains(file.path, "bench")) {
+      CheckBannedIdentifiers(file, &raw);
+      CheckBadSuppressions(file, &raw);
+      continue;
+    }
     CheckBannedIdentifiers(file, &raw);
     CheckThreadPrimitives(file, &raw);
     CheckStaticLocals(file, &raw);
@@ -727,6 +752,9 @@ AnalysisResult Analyze(const std::vector<SourceFile>& sources,
     CheckBadSuppressions(file, &raw);
   }
   CheckUnhandledMessages(sources, &raw);
+  const Index index = BuildIndex(sources);
+  CheckStructuralRules(index, &raw);
+  CheckScenarios(scenarios, index, &raw);
 
   // Apply inline suppressions. A trailing allow() (code on the same line)
   // covers that line; an allow() on its own comment line — possibly inside
@@ -750,16 +778,29 @@ AnalysisResult Analyze(const std::vector<SourceFile>& sources,
     auto next = lines.upper_bound(s.line);
     return next == lines.end() ? s.line : *next;
   };
+  // snapshot-field-coverage accepts the shorthand allow(snapshot-field):
+  // the rule id names the analysis; the suppression names the exemption.
+  auto rule_matches = [](const std::string& allowed, const std::string& rule) {
+    if (allowed == rule) {
+      return true;
+    }
+    return allowed == "snapshot-field" && rule == "snapshot-field-coverage";
+  };
   std::vector<Finding> kept;
   for (Finding& finding : raw) {
     bool suppressed = false;
     if (finding.rule != "bad-suppression") {
-      const SourceFile* file = by_path[finding.file];
-      for (const Suppression& suppression : file->suppressions) {
-        if (suppression.rule == finding.rule &&
-            target_line(file, suppression) == finding.line) {
-          suppressed = true;
-          break;
+      auto it = by_path.find(finding.file);
+      // Scenario-corpus findings have no tokenized SourceFile (and .scn
+      // files carry no suppression syntax); only the baseline covers them.
+      const SourceFile* file = it == by_path.end() ? nullptr : it->second;
+      if (file != nullptr) {
+        for (const Suppression& suppression : file->suppressions) {
+          if (rule_matches(suppression.rule, finding.rule) &&
+              target_line(file, suppression) == finding.line) {
+            suppressed = true;
+            break;
+          }
         }
       }
     }
@@ -793,7 +834,13 @@ AnalysisResult Analyze(const std::vector<SourceFile>& sources,
     if (a.column != b.column) {
       return a.column < b.column;
     }
-    return a.rule < b.rule;
+    if (a.rule != b.rule) {
+      return a.rule < b.rule;
+    }
+    // Structural rules can anchor several findings at one token (e.g. two
+    // missing overrides on the same class line); the subject breaks the tie
+    // so report order never depends on emission order.
+    return a.subject < b.subject;
   });
   result.findings = std::move(kept);
   return result;

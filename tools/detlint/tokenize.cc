@@ -117,6 +117,23 @@ class Lexer {
     const int start_line = line_;
     std::string text;
     while (pos_ < src_.size() && src_[pos_] != '\n') {
+      // A backslash-newline splice continues the comment onto the next
+      // physical line (the preprocessor's line-continuation rule applies to
+      // `//` comments too). Consuming it here keeps line accounting right:
+      // without this, the continued text was re-lexed as code and every
+      // suppression marker after the splice attached to the wrong line.
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        Advance();  // '\'
+        Advance();  // '\n' (bumps line_)
+        continue;
+      }
+      if (src_[pos_] == '\\' && pos_ + 2 < src_.size() && src_[pos_ + 1] == '\r' &&
+          src_[pos_ + 2] == '\n') {
+        Advance();  // '\'
+        Advance();  // '\r'
+        Advance();  // '\n'
+        continue;
+      }
       text += src_[pos_];
       Advance();
     }
@@ -144,20 +161,33 @@ class Lexer {
   }
 
   void LexQuoted(char quote, std::vector<Token>& tokens) {
-    tokens.push_back(Token{TokKind::kString, std::string(1, quote), line_, column_});
+    Token token{TokKind::kString, "", line_, column_};
     Advance();  // opening quote
     while (pos_ < src_.size() && src_[pos_] != quote) {
       if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        // Escape sequence. A backslash-newline is a line splice: the literal
+        // continues on the next physical line and contributes no character.
+        if (src_[pos_ + 1] == '\n') {
+          Advance();  // '\'
+          Advance();  // '\n' (bumps line_)
+          continue;
+        }
+        token.text += src_[pos_];
         Advance();
+        token.text += src_[pos_];
+        Advance();
+        continue;
       }
       if (src_[pos_] == '\n') {
         break;  // unterminated on this line; resynchronize
       }
+      token.text += src_[pos_];
       Advance();
     }
     if (pos_ < src_.size() && src_[pos_] == quote) {
       Advance();
     }
+    tokens.push_back(std::move(token));
   }
 
   // R"delim( — delimiter is 0-16 chars of non-parenthesis, non-space.
@@ -176,7 +206,7 @@ class Lexer {
   }
 
   void LexRawString(std::vector<Token>& tokens) {
-    tokens.push_back(Token{TokKind::kString, "R\"", line_, column_});
+    Token token{TokKind::kString, "", line_, column_};
     Advance();  // 'R'
     Advance();  // '"'
     std::string delim;
@@ -189,11 +219,13 @@ class Lexer {
     }
     const std::string terminator = ")" + delim + "\"";
     while (pos_ < src_.size() && src_.compare(pos_, terminator.size(), terminator) != 0) {
+      token.text += src_[pos_];
       Advance();
     }
     for (size_t i = 0; i < terminator.size() && pos_ < src_.size(); ++i) {
       Advance();
     }
+    tokens.push_back(std::move(token));
   }
 
   void LexIdentifier(std::vector<Token>& tokens) {

@@ -3,9 +3,11 @@
 //   scnrun file.scn...                 run every expect block, report verdicts
 //   scnrun --parse-only file.scn...    syntax/semantic gate only (CI schema check)
 //   scnrun --variant flawed file.scn   run one variant regardless of expect blocks
+//   scnrun --list file.scn...          one line per scenario: name, system,
+//                                      preset, variants — no execution
 //
-// Exit code 0 iff every file parsed (and, unless --parse-only, every
-// expectation of every executed variant held).
+// Exit code 0 iff every file parsed (and, unless --parse-only or --list,
+// every expectation of every executed variant held).
 
 #include <cstdio>
 #include <string>
@@ -48,9 +50,16 @@ bool ReportOutcome(const scenario::Scenario& scn, const scenario::RunOutcome& ou
   }
   std::printf(", digest %s\n", outcome.digest.c_str());
   for (const scenario::ExpectationOutcome& judged : outcome.expectations) {
-    std::printf("  %s %d:%d %s", judged.passed ? "PASS" : "FAIL",
-                judged.expectation.line, judged.expectation.column,
-                ExpectationName(judged.expectation));
+    // Failed expectations carry the scenario name so a grep over a
+    // multi-file run's output stays attributable without the header line.
+    if (judged.passed) {
+      std::printf("  PASS %d:%d %s", judged.expectation.line,
+                  judged.expectation.column, ExpectationName(judged.expectation));
+    } else {
+      std::printf("  FAIL [%s] %d:%d %s", scn.name.c_str(),
+                  judged.expectation.line, judged.expectation.column,
+                  ExpectationName(judged.expectation));
+    }
     if (!judged.expectation.needle.empty()) {
       std::printf(" \"%s\"", judged.expectation.needle.c_str());
     }
@@ -64,8 +73,22 @@ bool ReportOutcome(const scenario::Scenario& scn, const scenario::RunOutcome& ou
 
 }  // namespace
 
+void ListScenario(const std::string& file, const scenario::Scenario& scn) {
+  std::string variants;
+  for (const scenario::ExpectBlock& block : scn.expects) {
+    if (!variants.empty()) {
+      variants += ",";
+    }
+    variants += scenario::VariantName(block.variant);
+  }
+  std::printf("%-32s %-8s %-12s [%s] %s\n", scn.name.c_str(), scn.system.c_str(),
+              scn.preset.empty() ? "-" : scn.preset.c_str(),
+              variants.empty() ? "-" : variants.c_str(), file.c_str());
+}
+
 int main(int argc, char** argv) {
   bool parse_only = false;
+  bool list_only = false;
   bool variant_set = false;
   scenario::Variant variant = scenario::Variant::kFlawed;
   std::vector<std::string> files;
@@ -73,6 +96,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--parse-only") {
       parse_only = true;
+    } else if (arg == "--list") {
+      list_only = true;
     } else if (arg == "--variant") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "scnrun: --variant needs an argument (flawed|correct)\n");
@@ -89,15 +114,18 @@ int main(int argc, char** argv) {
       }
       variant_set = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: scnrun [--parse-only] [--variant flawed|correct] file.scn...\n");
+      std::fprintf(
+          stderr,
+          "usage: scnrun [--parse-only] [--list] [--variant flawed|correct] file.scn...\n");
       return 0;
     } else {
       files.push_back(arg);
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr, "usage: scnrun [--parse-only] [--variant flawed|correct] file.scn...\n");
+    std::fprintf(
+        stderr,
+        "usage: scnrun [--parse-only] [--list] [--variant flawed|correct] file.scn...\n");
     return 2;
   }
 
@@ -107,6 +135,10 @@ int main(int argc, char** argv) {
     if (!parsed.ok) {
       std::fprintf(stderr, "%s", scenario::FormatDiagnostics(parsed, file).c_str());
       ok = false;
+      continue;
+    }
+    if (list_only) {
+      ListScenario(file, parsed.scenario);
       continue;
     }
     if (parse_only) {
